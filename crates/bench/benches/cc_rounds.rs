@@ -1,0 +1,23 @@
+//! Criterion bench: label-propagation connected components on layered
+//! path graphs (the engine of experiment E5 / Theorem 4.10), small scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mpc_data::graphs::LayeredGraph;
+use mpc_graph::cc::run_cc;
+
+fn bench_cc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("label_propagation_cc");
+    group.sample_size(10);
+    for layers in [2usize, 4, 8] {
+        let g = LayeredGraph::generate(layers, 200, 3);
+        let edges = g.edge_relation("E");
+        group.bench_with_input(BenchmarkId::from_parameter(layers), &layers, |b, &layers| {
+            b.iter(|| run_cc(&edges, g.num_vertices(), 16, 0.0, layers + 1, 1).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cc);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench: the per-server local join engine (sequential ground
+//! truth and the inner loop of every simulated server).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mpc_cq::families;
+use mpc_data::matching_database;
+use mpc_storage::join::evaluate;
+
+fn bench_local_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_join");
+    group.sample_size(20);
+    for (name, q) in [
+        ("L2", families::chain(2)),
+        ("L4", families::chain(4)),
+        ("C3", families::cycle(3)),
+        ("T3", families::star(3)),
+    ] {
+        let db = matching_database(&q, 20_000, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &q, |b, q| {
+            b.iter(|| evaluate(q, &db).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_local_join);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench: exact rational simplex on the cover/packing LPs of the
+//! running query families (the engine behind Figure 1 / Table 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mpc_cq::families;
+use mpc_lp::QueryLps;
+
+fn bench_query_lps(c: &mut Criterion) {
+    let queries = vec![
+        ("C3", families::cycle(3)),
+        ("C8", families::cycle(8)),
+        ("L16", families::chain(16)),
+        ("T8", families::star(8)),
+        ("B5_2", families::binomial(5, 2).unwrap()),
+        ("SP5", families::spoke(5)),
+    ];
+    let mut group = c.benchmark_group("query_lps");
+    for (name, q) in queries {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &q, |b, q| {
+            b.iter(|| QueryLps::solve(q).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_lps);
+criterion_main!(benches);

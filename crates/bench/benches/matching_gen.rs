@@ -1,0 +1,22 @@
+//! Criterion bench: matching-database generation (the input generator of
+//! every experiment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mpc_cq::families;
+use mpc_data::matching_database;
+
+fn bench_matching_gen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching_database");
+    group.sample_size(20);
+    for n in [1_000u64, 10_000, 100_000] {
+        let q = families::cycle(3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| matching_database(&q, n, 42));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching_gen);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench: multi-round plan construction and execution for chain
+//! queries (the engine of experiments E3/E4 and Table 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mpc_core::multiround::executor::MultiRound;
+use mpc_core::multiround::planner::MultiRoundPlan;
+use mpc_cq::families;
+use mpc_data::matching_database;
+use mpc_lp::Rational;
+
+fn bench_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_construction");
+    for k in [8usize, 16, 32] {
+        let q = families::chain(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| MultiRoundPlan::build(&q, Rational::ZERO).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_execution");
+    group.sample_size(10);
+    for k in [4usize, 8, 16] {
+        let q = families::chain(k);
+        let db = matching_database(&q, 2_000, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| MultiRound::run(&q, &db, 16, Rational::ZERO, 7).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_planning, bench_execution);
+criterion_main!(benches);

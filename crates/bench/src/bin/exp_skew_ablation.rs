@@ -1,0 +1,80 @@
+//! Experiment **E7** (ablation; §2.5 and §3.3 discussion): the HyperCube
+//! load guarantee is stated for matching databases — skew-free inputs. On
+//! Zipf-skewed inputs the hash-partitioning balance degrades. The shape to
+//! reproduce: the max/mean load ratio stays ≈ 1 on matchings and grows
+//! with the Zipf exponent.
+//!
+//! ```text
+//! cargo run --release -p mpc-bench --bin exp_skew_ablation
+//! ```
+
+use serde::Serialize;
+
+use mpc_bench::{maybe_write_json, scaled, TextTable};
+use mpc_core::hypercube::HyperCube;
+use mpc_core::space_exponent::space_exponent;
+use mpc_cq::families;
+use mpc_data::matching_database;
+use mpc_data::skew::zipf_database;
+use mpc_sim::MpcConfig;
+
+#[derive(Serialize)]
+struct Row {
+    query: String,
+    input: String,
+    p: usize,
+    max_bytes: u64,
+    balance_ratio: f64,
+    within_budget: bool,
+}
+
+fn main() {
+    let n = scaled(6000, 500);
+    let p = 32;
+    let mut table = TextTable::new([
+        "query",
+        "input",
+        "p",
+        "max bytes/server",
+        "max/mean balance ratio",
+        "within budget",
+    ]);
+    let mut rows = Vec::new();
+
+    for q in [families::chain(2), families::cycle(3)] {
+        let eps = space_exponent(&q).expect("LP solvable").to_f64();
+        let inputs: Vec<(String, mpc_storage::Database)> = vec![
+            ("matching".to_string(), matching_database(&q, n, 5)),
+            ("zipf θ=0.8".to_string(), zipf_database(&q, n, n as usize, 0.8, 5)),
+            ("zipf θ=1.2".to_string(), zipf_database(&q, n, n as usize, 1.2, 5)),
+        ];
+        for (label, db) in inputs {
+            let run = HyperCube::run(&q, &db, &MpcConfig::new(p, eps)).expect("HC run succeeds");
+            let row = Row {
+                query: q.name().to_string(),
+                input: label,
+                p,
+                max_bytes: run.result.max_load_bytes(),
+                balance_ratio: run.result.rounds[0].balance_ratio,
+                within_budget: run.result.within_budget(),
+            };
+            table.row([
+                row.query.clone(),
+                row.input.clone(),
+                p.to_string(),
+                row.max_bytes.to_string(),
+                format!("{:.2}", row.balance_ratio),
+                row.within_budget.to_string(),
+            ]);
+            rows.push(row);
+        }
+    }
+    table.print(&format!("E7 — skew ablation: HyperCube balance on matchings vs Zipf inputs (n ≈ {n}, p = {p})"));
+    println!(
+        "\nExpected shape: matchings balance within a small constant of perfect (ratio ≈ 1–2); \
+         increasing Zipf skew concentrates load on the servers owning the heavy hash keys, \
+         inflating the ratio — the reason the paper restricts its guarantees to skew-free data \
+         and defers skew handling to Koutris–Suciu (PODS 2011)."
+    );
+    maybe_write_json("exp_skew_ablation", &rows);
+}

@@ -1,0 +1,154 @@
+//! Shared helpers for the table/figure regeneration binaries and the
+//! Criterion benches.
+//!
+//! Every binary in `src/bin/` regenerates one artefact of the paper (see
+//! the per-experiment index in `DESIGN.md`): it prints a human-readable
+//! table to stdout and, when `--json <path>` is passed (or the
+//! `MPC_BENCH_JSON` environment variable is set), also writes the rows as
+//! JSON so the numbers in `EXPERIMENTS.md` are reproducible artifacts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// A rendered table: header + rows of equal width.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Create a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must have the same number of cells as the header).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width must match header width");
+        self.rows.push(cells);
+    }
+
+    /// Render as a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let render = |cells: &[String]| {
+            let padded: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        let mut out = String::new();
+        out.push_str(&render(&self.header));
+        out.push('\n');
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&render(&sep));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print the table to stdout with a caption.
+    pub fn print(&self, caption: &str) {
+        println!("\n## {caption}\n");
+        print!("{}", self.to_markdown());
+    }
+}
+
+/// Where to write the JSON artefact of an experiment, if requested via
+/// `--json <path>` or `MPC_BENCH_JSON=<dir>`.
+pub fn json_output_path(experiment: &str) -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        if let Some(path) = args.get(pos + 1) {
+            return Some(PathBuf::from(path));
+        }
+    }
+    if let Ok(dir) = std::env::var("MPC_BENCH_JSON") {
+        return Some(PathBuf::from(dir).join(format!("{experiment}.json")));
+    }
+    None
+}
+
+/// Serialise the experiment rows to the requested JSON path (if any).
+pub fn maybe_write_json<T: Serialize>(experiment: &str, rows: &T) {
+    if let Some(path) = json_output_path(experiment) {
+        if let Some(parent) = path.parent() {
+            let _ = fs::create_dir_all(parent);
+        }
+        match serde_json::to_string_pretty(rows) {
+            Ok(json) => {
+                if let Err(e) = fs::write(&path, json) {
+                    eprintln!("warning: could not write {}: {e}", path.display());
+                } else {
+                    println!("\n(wrote JSON rows to {})", path.display());
+                }
+            }
+            Err(e) => eprintln!("warning: could not serialise rows: {e}"),
+        }
+    }
+}
+
+/// Parse `--scale <f64>` (default 1.0): all experiment binaries accept it
+/// to shrink or grow the workload sizes.
+pub fn scale_factor() -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == "--scale") {
+        if let Some(v) = args.get(pos + 1).and_then(|s| s.parse::<f64>().ok()) {
+            if v > 0.0 {
+                return v;
+            }
+        }
+    }
+    1.0
+}
+
+/// Scale an integer workload parameter by the `--scale` factor, with a
+/// minimum of `min`.
+pub fn scaled(base: u64, min: u64) -> u64 {
+    ((base as f64 * scale_factor()).round() as u64).max(min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = TextTable::new(["query", "τ*"]);
+        t.row(["C3", "3/2"]);
+        t.row(["L5", "3"]);
+        let md = t.to_markdown();
+        assert!(md.contains("| query | τ*"));
+        assert!(md.lines().count() == 4);
+        assert!(md.contains("| C3 "));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn scaled_respects_minimum() {
+        assert!(scaled(100, 10) >= 10);
+    }
+}

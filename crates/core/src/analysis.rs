@@ -1,0 +1,222 @@
+//! One-stop structural analysis of a query: everything Table 1 and Table 2
+//! of the paper report, computed exactly.
+
+use serde::Serialize;
+
+use mpc_cq::Query;
+use mpc_lp::{QueryLps, Rational};
+
+use crate::multiround::lower_bound::round_lower_bound;
+use crate::multiround::planner::{round_upper_bound, MultiRoundPlan};
+use crate::shares::ShareAllocation;
+use crate::Result;
+
+/// Round bounds of a query at a particular space exponent ε.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct RoundBounds {
+    /// Lower bound for tuple-based MPC(ε) algorithms (Corollary 4.8 /
+    /// Lemma 4.9 / Theorem 4.5).
+    pub lower: usize,
+    /// Depth of the greedy `Γ^r_ε` plan this library constructs (an upper
+    /// bound achieved by an executable algorithm).
+    pub plan_depth: usize,
+    /// The analytic radius-based upper bound of Lemma 4.3.
+    pub radius_upper: usize,
+}
+
+/// The complete structural analysis of a connected conjunctive query.
+#[derive(Debug, Clone, Serialize)]
+pub struct QueryAnalysis {
+    /// The analysed query (display form).
+    pub query_text: String,
+    /// Query name.
+    pub name: String,
+    /// Number of variables `k`.
+    pub num_vars: usize,
+    /// Number of atoms `ℓ`.
+    pub num_atoms: usize,
+    /// Total arity `a`.
+    pub total_arity: usize,
+    /// The characteristic `χ(q) = k + ℓ − a − c`.
+    pub characteristic: i64,
+    /// Whether the query is tree-like (connected and `χ = 0`).
+    pub is_tree_like: bool,
+    /// Hypergraph radius.
+    pub radius: Option<usize>,
+    /// Hypergraph diameter.
+    pub diameter: Option<usize>,
+    /// The fractional covering number `τ*`.
+    pub tau_star: Rational,
+    /// An optimal fractional vertex cover (one weight per variable).
+    pub vertex_cover: Vec<Rational>,
+    /// An optimal fractional edge packing (one weight per atom).
+    pub edge_packing: Vec<Rational>,
+    /// The one-round space exponent `ε* = 1 − 1/τ*`.
+    pub space_exponent: Rational,
+    /// Share exponents `vᵢ/τ*` (Section 3.1), one per variable.
+    pub share_exponents: Vec<Rational>,
+    /// Exponent `e` such that the expected answer size over matching
+    /// databases is `n^e` (Lemma 3.4: `e = 1 + χ` for connected queries).
+    pub expected_answer_exponent: i64,
+    #[serde(skip)]
+    query: Query,
+}
+
+impl QueryAnalysis {
+    /// Analyse a query.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LP errors.
+    pub fn analyze(q: &Query) -> Result<Self> {
+        let lps = QueryLps::solve(q)?;
+        let tau = lps.covering_number();
+        let space_exponent = Rational::ONE - tau.recip()?;
+        let share_exponents = lps
+            .vertex_cover()
+            .weights()
+            .iter()
+            .map(|v| v.checked_div(&tau))
+            .collect::<std::result::Result<Vec<_>, _>>()?;
+        Ok(QueryAnalysis {
+            query_text: q.to_string(),
+            name: q.name().to_string(),
+            num_vars: q.num_vars(),
+            num_atoms: q.num_atoms(),
+            total_arity: q.total_arity(),
+            characteristic: q.characteristic(),
+            is_tree_like: q.is_tree_like(),
+            radius: q.radius(),
+            diameter: q.diameter(),
+            tau_star: tau,
+            vertex_cover: lps.vertex_cover().weights().to_vec(),
+            edge_packing: lps.edge_packing().weights().to_vec(),
+            space_exponent,
+            share_exponents,
+            expected_answer_exponent: q.num_vars() as i64 + q.num_atoms() as i64
+                - q.total_arity() as i64,
+            query: q.clone(),
+        })
+    }
+
+    /// The analysed query.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// The integer share allocation for `p` servers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LP errors.
+    pub fn shares_for(&self, p: usize) -> Result<ShareAllocation> {
+        ShareAllocation::optimal(&self.query, p)
+    }
+
+    /// Round lower/upper bounds at a given space exponent (connected
+    /// queries only).
+    ///
+    /// # Errors
+    ///
+    /// Propagates LP and planning errors.
+    pub fn round_bounds(&self, epsilon: Rational) -> Result<RoundBounds> {
+        let lower = round_lower_bound(&self.query, epsilon)?;
+        let plan = MultiRoundPlan::build(&self.query, epsilon)?;
+        let radius_upper = round_upper_bound(&self.query, epsilon)?;
+        Ok(RoundBounds { lower, plan_depth: plan.num_rounds(), radius_upper })
+    }
+
+    /// Human-readable one-line summary (used by the table binaries).
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: k={} ℓ={} τ*={} ε*={} χ={} rad={:?} diam={:?} E[|q|]=n^{}",
+            self.name,
+            self.num_vars,
+            self.num_atoms,
+            self.tau_star,
+            self.space_exponent,
+            self.characteristic,
+            self.radius,
+            self.diameter,
+            self.expected_answer_exponent
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_cq::families;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn table_1_rows() {
+        // Ck row.
+        let a = QueryAnalysis::analyze(&families::cycle(5)).unwrap();
+        assert_eq!(a.tau_star, r(5, 2));
+        assert_eq!(a.space_exponent, r(3, 5));
+        assert_eq!(a.share_exponents, vec![r(1, 5); 5]);
+        assert_eq!(a.expected_answer_exponent, 0); // E = n^0 = 1
+        // Tk row.
+        let a = QueryAnalysis::analyze(&families::star(4)).unwrap();
+        assert_eq!(a.tau_star, Rational::ONE);
+        assert_eq!(a.space_exponent, Rational::ZERO);
+        assert_eq!(a.expected_answer_exponent, 1); // E = n
+        // Lk row.
+        let a = QueryAnalysis::analyze(&families::chain(5)).unwrap();
+        assert_eq!(a.tau_star, r(3, 1));
+        assert_eq!(a.space_exponent, r(2, 3));
+        assert_eq!(a.expected_answer_exponent, 1);
+        // B(k,m) row.
+        let a = QueryAnalysis::analyze(&families::binomial(4, 2).unwrap()).unwrap();
+        assert_eq!(a.tau_star, r(2, 1));
+        assert_eq!(a.space_exponent, r(1, 2));
+        assert_eq!(a.expected_answer_exponent, 4 - 6);
+    }
+
+    #[test]
+    fn share_exponents_sum_to_one() {
+        for q in [families::cycle(3), families::chain(7), families::spoke(3)] {
+            let a = QueryAnalysis::analyze(&q).unwrap();
+            assert_eq!(Rational::sum(a.share_exponents.iter()).unwrap(), Rational::ONE);
+        }
+    }
+
+    #[test]
+    fn table_2_round_bounds() {
+        // Lk at ε = 0: ⌈log₂ k⌉ rounds, lower = upper.
+        let a = QueryAnalysis::analyze(&families::chain(8)).unwrap();
+        let b = a.round_bounds(Rational::ZERO).unwrap();
+        assert_eq!(b.lower, 3);
+        assert_eq!(b.plan_depth, 3);
+        // SPk at ε = 0: exactly two rounds.
+        let a = QueryAnalysis::analyze(&families::spoke(4)).unwrap();
+        let b = a.round_bounds(Rational::ZERO).unwrap();
+        assert_eq!(b.lower, 2);
+        assert_eq!(b.plan_depth, 2);
+        // Tk: one round suffices.
+        let a = QueryAnalysis::analyze(&families::star(6)).unwrap();
+        let b = a.round_bounds(Rational::ZERO).unwrap();
+        assert_eq!(b.lower, 1);
+        assert_eq!(b.plan_depth, 1);
+    }
+
+    #[test]
+    fn summary_mentions_key_quantities() {
+        let a = QueryAnalysis::analyze(&families::cycle(3)).unwrap();
+        let s = a.summary();
+        assert!(s.contains("C3"));
+        assert!(s.contains("3/2"));
+        assert!(s.contains("1/3"));
+    }
+
+    #[test]
+    fn shares_for_exposes_allocation() {
+        let a = QueryAnalysis::analyze(&families::cycle(3)).unwrap();
+        let alloc = a.shares_for(27).unwrap();
+        assert_eq!(alloc.shares, vec![3, 3, 3]);
+    }
+}

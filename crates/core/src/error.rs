@@ -1,0 +1,76 @@
+//! Error type for the core crate.
+
+use std::fmt;
+
+/// Errors raised by the HyperCube algorithm, the planner and the analyses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Propagated query error.
+    Query(String),
+    /// Propagated LP error.
+    Lp(String),
+    /// Propagated storage error.
+    Storage(String),
+    /// Propagated simulator error.
+    Sim(String),
+    /// The query does not satisfy a precondition of the requested analysis
+    /// or algorithm (e.g. disconnected where a connected query is needed).
+    Unsupported(String),
+    /// A plan/program was constructed with inconsistent parameters.
+    InvalidPlan(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Query(m) => write!(f, "query error: {m}"),
+            CoreError::Lp(m) => write!(f, "LP error: {m}"),
+            CoreError::Storage(m) => write!(f, "storage error: {m}"),
+            CoreError::Sim(m) => write!(f, "simulation error: {m}"),
+            CoreError::Unsupported(m) => write!(f, "unsupported query: {m}"),
+            CoreError::InvalidPlan(m) => write!(f, "invalid plan: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<mpc_cq::CqError> for CoreError {
+    fn from(e: mpc_cq::CqError) -> Self {
+        CoreError::Query(e.to_string())
+    }
+}
+
+impl From<mpc_lp::LpError> for CoreError {
+    fn from(e: mpc_lp::LpError) -> Self {
+        CoreError::Lp(e.to_string())
+    }
+}
+
+impl From<mpc_storage::StorageError> for CoreError {
+    fn from(e: mpc_storage::StorageError) -> Self {
+        CoreError::Storage(e.to_string())
+    }
+}
+
+impl From<mpc_sim::SimError> for CoreError {
+    fn from(e: mpc_sim::SimError) -> Self {
+        CoreError::Sim(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = mpc_cq::CqError::EmptyQuery.into();
+        assert!(matches!(e, CoreError::Query(_)));
+        assert!(e.to_string().contains("query"));
+        let e: CoreError = mpc_lp::LpError::Infeasible.into();
+        assert!(matches!(e, CoreError::Lp(_)));
+        let e = CoreError::Unsupported("disconnected".to_string());
+        assert!(e.to_string().contains("disconnected"));
+    }
+}

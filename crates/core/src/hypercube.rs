@@ -1,0 +1,516 @@
+//! The HyperCube (HC) algorithm (Section 3.1) and its partial-answer
+//! variant (Proposition 3.11).
+//!
+//! The `p` servers are identified with the cells of the hypercube
+//! `[p₁] × ⋯ × [p_k]` given by the share allocation. Each variable `xᵢ`
+//! gets an independent hash function `hᵢ : [n] → [pᵢ]`. During the single
+//! communication round, the input server of relation `Sⱼ` sends each tuple
+//! to every cell that agrees with the tuple's hashed coordinates on the
+//! variables of `Sⱼ` (the other coordinates are free — that is the
+//! replication). Every potential output tuple `(a₁,…,a_k)` is then fully
+//! known by the cell `(h₁(a₁),…,h_k(a_k))`, so computing the query locally
+//! at every server finds all answers.
+//!
+//! On a matching database the per-server load is `O(n / p^{1/τ})` with high
+//! probability, i.e. space exponent `ε = 1 − 1/τ` (Proposition 3.2); with
+//! the optimal fractional vertex cover this matches the lower bound of
+//! Theorem 3.3.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use mpc_cq::{Atom, Query};
+use mpc_lp::Rational;
+use mpc_sim::program::hash_value;
+use mpc_sim::{Cluster, MpcConfig, MpcProgram, Routed, RunResult, ServerState};
+use mpc_storage::{Database, Relation, Tuple};
+
+use crate::error::CoreError;
+use crate::shares::ShareAllocation;
+use crate::space_exponent::space_exponent;
+use crate::Result;
+
+/// The one-round HyperCube program: an [`MpcProgram`] that can be run on
+/// any [`Cluster`].
+#[derive(Debug, Clone)]
+pub struct HyperCubeProgram {
+    query: Query,
+    allocation: ShareAllocation,
+    /// Per-variable hash seeds (`hᵢ`).
+    seeds: Vec<u64>,
+}
+
+impl HyperCubeProgram {
+    /// Build the program with the optimal share allocation for `p` servers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LP/allocation errors.
+    pub fn new(query: &Query, p: usize, seed: u64) -> Result<Self> {
+        let allocation = ShareAllocation::optimal(query, p)?;
+        Ok(Self::with_allocation(query, allocation, seed))
+    }
+
+    /// Build the program from an explicit share allocation.
+    pub fn with_allocation(query: &Query, allocation: ShareAllocation, seed: u64) -> Self {
+        let seeds = derive_seeds(seed, query.num_vars());
+        HyperCubeProgram { query: query.clone(), allocation, seeds }
+    }
+
+    /// The share allocation in use.
+    pub fn allocation(&self) -> &ShareAllocation {
+        &self.allocation
+    }
+
+    /// The hypercube cell coordinates (one per query variable) that a tuple
+    /// of `atom` determines: `Some(coord)` for the atom's variables, `None`
+    /// (free) for the others. Returns `None` for tuples that disagree on a
+    /// repeated variable (they can never contribute to an answer).
+    fn partial_coordinates(&self, atom: &Atom, tuple: &Tuple) -> Option<Vec<Option<usize>>> {
+        let mut partial: Vec<Option<usize>> = vec![None; self.query.num_vars()];
+        for (pos, var) in atom.vars.iter().enumerate() {
+            let value = tuple.values()[pos];
+            let coord = hash_value(self.seeds[var.0], value, self.allocation.share(*var).max(1));
+            match partial[var.0] {
+                None => partial[var.0] = Some(coord),
+                Some(existing) => {
+                    // Repeated variable: require equal values (hence equal
+                    // coordinates); unequal values never join.
+                    let first_pos = atom.vars.iter().position(|w| w == var).expect("var occurs");
+                    if tuple.values()[first_pos] != value {
+                        return None;
+                    }
+                    debug_assert_eq!(existing, coord);
+                }
+            }
+        }
+        Some(partial)
+    }
+
+    /// Destination servers of one tuple of `atom`.
+    pub fn destinations(&self, atom: &Atom, tuple: &Tuple) -> Vec<usize> {
+        match self.partial_coordinates(atom, tuple) {
+            Some(partial) => self.allocation.consistent_cells(&partial),
+            None => Vec::new(),
+        }
+    }
+}
+
+impl MpcProgram for HyperCubeProgram {
+    fn num_rounds(&self) -> usize {
+        1
+    }
+
+    fn route_input(&self, relation: &Relation, _p: usize) -> mpc_sim::Result<Vec<Routed>> {
+        let Some((_, atom)) = self.query.atom_by_name(relation.name()) else {
+            // Relations not mentioned by the query are simply not shuffled.
+            return Ok(Vec::new());
+        };
+        Ok(relation
+            .iter()
+            .map(|t| Routed::new(relation.name(), t.clone(), self.destinations(atom, t)))
+            .collect())
+    }
+
+    fn compute(
+        &self,
+        _round: usize,
+        _server: usize,
+        _state: &ServerState,
+    ) -> mpc_sim::Result<Vec<Relation>> {
+        Ok(Vec::new())
+    }
+
+    fn output(&self, _server: usize, state: &ServerState) -> mpc_sim::Result<Relation> {
+        // A cell may have received nothing from some relation; it then has
+        // no answers.
+        for atom in self.query.atoms() {
+            if state.relation(&atom.name).is_none() {
+                return Ok(Relation::empty(self.query.name(), self.query.num_vars()));
+            }
+        }
+        let db = state.as_database();
+        Ok(mpc_storage::join::evaluate(&self.query, &db)?)
+    }
+
+    fn output_name(&self) -> String {
+        self.query.name().to_string()
+    }
+
+    fn output_arity(&self) -> usize {
+        self.query.num_vars()
+    }
+}
+
+/// Convenience entry point: run HyperCube end to end on a database and
+/// return both the simulator result and the allocation that was used.
+#[derive(Debug, Clone)]
+pub struct HyperCube;
+
+/// The outcome of a HyperCube run.
+#[derive(Debug, Clone)]
+pub struct HyperCubeOutcome {
+    /// Simulator output and per-round statistics.
+    pub result: RunResult,
+    /// The share allocation used.
+    pub allocation: ShareAllocation,
+    /// The space exponent `1 − 1/τ*` of the query (what ε the algorithm
+    /// needs to stay within budget on matching databases).
+    pub space_exponent: Rational,
+}
+
+impl HyperCube {
+    /// Run the HC algorithm for `q` on `db` under the given configuration
+    /// with a default seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation, configuration and simulation errors.
+    pub fn run(q: &Query, db: &Database, config: &MpcConfig) -> Result<HyperCubeOutcome> {
+        Self::run_seeded(q, db, config, 0x5EED)
+    }
+
+    /// Run the HC algorithm with an explicit hash seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation, configuration and simulation errors.
+    pub fn run_seeded(
+        q: &Query,
+        db: &Database,
+        config: &MpcConfig,
+        seed: u64,
+    ) -> Result<HyperCubeOutcome> {
+        let program = HyperCubeProgram::new(q, config.p, seed)?;
+        let allocation = program.allocation().clone();
+        let cluster = Cluster::new(config.clone())?;
+        let result = cluster.run(&program, db)?;
+        Ok(HyperCubeOutcome { result, allocation, space_exponent: space_exponent(q)? })
+    }
+}
+
+/// The partial-answer HyperCube of Proposition 3.11: run *below* the space
+/// exponent (`ε < 1 − 1/τ*`), where the full hypercube would need
+/// `p^{(1−ε)τ*} > p` cells. A uniformly random subset of `p` cells is
+/// materialised on the `p` servers; tuples are routed only to materialised
+/// cells, so each potential answer is reported with probability
+/// `p / p^{(1−ε)τ*} = 1 / p^{(1−ε)τ* − 1}` — exactly the fraction that
+/// Theorem 3.3 proves to be optimal.
+#[derive(Debug, Clone)]
+pub struct PartialHyperCubeProgram {
+    query: Query,
+    allocation: ShareAllocation,
+    seeds: Vec<u64>,
+    /// Sorted list of materialised cells; index in this list = server id.
+    chosen_cells: Vec<usize>,
+}
+
+impl PartialHyperCubeProgram {
+    /// Build the partial program for `p` servers at space exponent
+    /// `epsilon` (as an exact rational, e.g. `0` or `1/4`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation errors; rejects `ε ≥ 1`.
+    pub fn new(query: &Query, p: usize, epsilon: Rational, seed: u64) -> Result<Self> {
+        if epsilon >= Rational::ONE {
+            return Err(CoreError::InvalidPlan("ε must be < 1 for the partial HC".to_string()));
+        }
+        let one_minus_eps = Rational::ONE - epsilon;
+        let allocation = ShareAllocation::scaled(query, p, one_minus_eps)?;
+        let total_cells = allocation.num_cells();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+        let chosen_cells: Vec<usize> = if total_cells <= p {
+            (0..total_cells).collect()
+        } else {
+            // Uniform sample of p distinct cells.
+            rand::seq::index::sample(&mut rng, total_cells, p).into_vec()
+        };
+        let mut chosen_cells = chosen_cells;
+        chosen_cells.sort_unstable();
+        let seeds = derive_seeds(seed, query.num_vars());
+        Ok(PartialHyperCubeProgram { query: query.clone(), allocation, seeds, chosen_cells })
+    }
+
+    /// Total number of cells of the (virtual) hypercube.
+    pub fn total_cells(&self) -> usize {
+        self.allocation.num_cells()
+    }
+
+    /// The fraction of potential answers this program is expected to
+    /// report: `(number of materialised cells) / (total cells)`.
+    pub fn expected_fraction(&self) -> f64 {
+        self.chosen_cells.len() as f64 / self.total_cells().max(1) as f64
+    }
+
+    fn cell_to_server(&self, cell: usize) -> Option<usize> {
+        self.chosen_cells.binary_search(&cell).ok()
+    }
+
+    fn destinations(&self, atom: &Atom, tuple: &Tuple) -> Vec<usize> {
+        let mut partial: Vec<Option<usize>> = vec![None; self.query.num_vars()];
+        for (pos, var) in atom.vars.iter().enumerate() {
+            let value = tuple.values()[pos];
+            let coord = hash_value(self.seeds[var.0], value, self.allocation.share(*var).max(1));
+            partial[var.0] = Some(coord);
+        }
+        self.allocation
+            .consistent_cells(&partial)
+            .into_iter()
+            .filter_map(|cell| self.cell_to_server(cell))
+            .collect()
+    }
+}
+
+impl MpcProgram for PartialHyperCubeProgram {
+    fn num_rounds(&self) -> usize {
+        1
+    }
+
+    fn route_input(&self, relation: &Relation, _p: usize) -> mpc_sim::Result<Vec<Routed>> {
+        let Some((_, atom)) = self.query.atom_by_name(relation.name()) else {
+            return Ok(Vec::new());
+        };
+        Ok(relation
+            .iter()
+            .map(|t| Routed::new(relation.name(), t.clone(), self.destinations(atom, t)))
+            .collect())
+    }
+
+    fn compute(
+        &self,
+        _round: usize,
+        _server: usize,
+        _state: &ServerState,
+    ) -> mpc_sim::Result<Vec<Relation>> {
+        Ok(Vec::new())
+    }
+
+    fn output(&self, _server: usize, state: &ServerState) -> mpc_sim::Result<Relation> {
+        for atom in self.query.atoms() {
+            if state.relation(&atom.name).is_none() {
+                return Ok(Relation::empty(self.query.name(), self.query.num_vars()));
+            }
+        }
+        let db = state.as_database();
+        Ok(mpc_storage::join::evaluate(&self.query, &db)?)
+    }
+
+    fn output_name(&self) -> String {
+        self.query.name().to_string()
+    }
+
+    fn output_arity(&self) -> usize {
+        self.query.num_vars()
+    }
+}
+
+/// The outcome of a partial HyperCube run.
+#[derive(Debug, Clone)]
+pub struct PartialOutcome {
+    /// Simulator output and statistics (the output is a *subset* of the
+    /// true answers).
+    pub result: RunResult,
+    /// The fraction of answers the program expects to report.
+    pub expected_fraction: f64,
+    /// Number of cells of the virtual hypercube.
+    pub total_cells: usize,
+}
+
+/// Convenience runner for the partial-answer HyperCube.
+#[derive(Debug, Clone)]
+pub struct PartialHyperCube;
+
+impl PartialHyperCube {
+    /// Run the partial HC for `q` on `db` with `p` servers at space
+    /// exponent `epsilon` (< `1 − 1/τ*` to be meaningful).
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation, configuration and simulation errors.
+    pub fn run(
+        q: &Query,
+        db: &Database,
+        p: usize,
+        epsilon: Rational,
+        seed: u64,
+    ) -> Result<PartialOutcome> {
+        let program = PartialHyperCubeProgram::new(q, p, epsilon, seed)?;
+        let expected_fraction = program.expected_fraction();
+        let total_cells = program.total_cells();
+        let config = MpcConfig::new(p, epsilon.to_f64().clamp(0.0, 1.0));
+        let cluster = Cluster::new(config)?;
+        let result = cluster.run(&program, db)?;
+        Ok(PartialOutcome { result, expected_fraction, total_cells })
+    }
+}
+
+/// Derive `k` independent per-variable seeds from one master seed.
+fn derive_seeds(seed: u64, k: usize) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..k).map(|_| rng.gen()).collect()
+}
+
+/// Shuffle helper used in tests and ablations: a random permutation of
+/// `0..n` derived from a seed.
+pub fn seeded_permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut v: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    v.shuffle(&mut rng);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_cq::families;
+    use mpc_data::matching_database;
+    use mpc_storage::join::evaluate;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn triangle_hypercube_is_correct_and_balanced() {
+        // Example 3.1: C3 on p = 64 with ε = 1/3.
+        let q = families::triangle();
+        let db = matching_database(&q, 2000, 11);
+        let config = MpcConfig::new(64, 1.0 / 3.0);
+        let outcome = HyperCube::run(&q, &db, &config).unwrap();
+        let expected = evaluate(&q, &db).unwrap();
+        assert!(outcome.result.output.same_tuples(&expected));
+        assert_eq!(outcome.space_exponent, r(1, 3));
+        // Replication rate ≈ p^{1/3} = 4.
+        let rate = outcome.result.rounds[0].replication_rate;
+        assert!(rate > 3.0 && rate < 5.0, "replication rate {rate}");
+        // Within the ε = 1/3 budget.
+        assert!(outcome.result.within_budget());
+    }
+
+    #[test]
+    fn chain_l2_hypercube_no_replication() {
+        let q = families::chain(2);
+        let db = matching_database(&q, 3000, 3);
+        let config = MpcConfig::new(32, 0.0);
+        let outcome = HyperCube::run(&q, &db, &config).unwrap();
+        let expected = evaluate(&q, &db).unwrap();
+        assert!(outcome.result.output.same_tuples(&expected));
+        assert!((outcome.result.rounds[0].replication_rate - 1.0).abs() < 1e-9);
+        assert!(outcome.result.within_budget());
+        assert_eq!(outcome.space_exponent, Rational::ZERO);
+    }
+
+    #[test]
+    fn star_query_hypercube() {
+        let q = families::star(3);
+        let db = matching_database(&q, 1000, 5);
+        let outcome = HyperCube::run(&q, &db, &MpcConfig::new(16, 0.0)).unwrap();
+        let expected = evaluate(&q, &db).unwrap();
+        assert_eq!(expected.len(), 1000);
+        assert!(outcome.result.output.same_tuples(&expected));
+        assert!(outcome.result.within_budget());
+    }
+
+    #[test]
+    fn longer_chain_and_cycle_are_correct() {
+        for q in [families::chain(4), families::cycle(4)] {
+            let db = matching_database(&q, 600, 17);
+            let eps = space_exponent(&q).unwrap().to_f64();
+            let outcome = HyperCube::run(&q, &db, &MpcConfig::new(27, eps)).unwrap();
+            let expected = evaluate(&q, &db).unwrap();
+            assert!(
+                outcome.result.output.same_tuples(&expected),
+                "HC output mismatch for {}",
+                q.name()
+            );
+        }
+    }
+
+    #[test]
+    fn cartesian_product_uses_square_grid() {
+        // The introduction's drug-interaction example: q(x,y) = R(x), S(y)
+        // is solved by HC with shares (√p, √p).
+        let q = mpc_cq::Query::new("CP", vec![("R", vec!["x"]), ("S", vec!["y"])]).unwrap();
+        let db = matching_database(&q, 200, 23);
+        let outcome = HyperCube::run(&q, &db, &MpcConfig::new(16, 0.5)).unwrap();
+        assert_eq!(outcome.allocation.shares, vec![4, 4]);
+        let expected = evaluate(&q, &db).unwrap();
+        assert_eq!(expected.len(), 200 * 200);
+        assert!(outcome.result.output.same_tuples(&expected));
+    }
+
+    #[test]
+    fn destinations_replicate_along_free_dimensions() {
+        let q = families::triangle();
+        let program = HyperCubeProgram::new(&q, 27, 1).unwrap();
+        let (_, atom) = q.atom_by_name("S1").unwrap();
+        let dests = program.destinations(atom, &Tuple::from([5, 9]));
+        // S1(x1,x2) leaves x3 free: exactly p^{1/3} = 3 destinations.
+        assert_eq!(dests.len(), 3);
+        // Deterministic.
+        assert_eq!(dests, program.destinations(atom, &Tuple::from([5, 9])));
+    }
+
+    #[test]
+    fn unknown_relation_is_ignored_by_routing() {
+        let q = families::chain(2);
+        let program = HyperCubeProgram::new(&q, 8, 1).unwrap();
+        let junk = Relation::from_tuples("Junk", 2, vec![[1u64, 2]]).unwrap();
+        assert!(program.route_input(&junk, 8).unwrap().is_empty());
+    }
+
+    #[test]
+    fn partial_hypercube_reports_predicted_fraction() {
+        // L3 (τ* = 2) forced to one round at ε = 0 on p servers can only
+        // report ≈ 1/p of the n answers (Theorem 3.3 / Prop 3.11).
+        let q = families::chain(3);
+        let n = 4000u64;
+        let p = 16usize;
+        let db = matching_database(&q, n, 31);
+        let outcome = PartialHyperCube::run(&q, &db, p, Rational::ZERO, 9).unwrap();
+        let reported = outcome.result.output.len() as f64;
+        let expected_total = n as f64;
+        let predicted = outcome.expected_fraction * expected_total;
+        assert!(outcome.expected_fraction < 0.2, "fraction {}", outcome.expected_fraction);
+        // Within a factor of 2.5 of the prediction (randomness of the hash).
+        assert!(
+            reported <= 2.5 * predicted + 10.0 && reported * 2.5 + 10.0 >= predicted,
+            "reported {reported}, predicted {predicted}"
+        );
+        // All reported answers are genuine answers.
+        let truth = evaluate(&q, &db).unwrap();
+        for t in outcome.result.output.iter() {
+            assert!(truth.contains(t));
+        }
+    }
+
+    #[test]
+    fn partial_hypercube_at_space_exponent_reports_everything() {
+        // At ε = ε* the virtual hypercube has ≈ p cells, so (nearly) all
+        // cells are materialised and (nearly) all answers are reported.
+        let q = families::chain(2); // ε* = 0
+        let db = matching_database(&q, 1000, 13);
+        let outcome = PartialHyperCube::run(&q, &db, 16, Rational::ZERO, 5).unwrap();
+        assert!(outcome.expected_fraction > 0.99);
+        let truth = evaluate(&q, &db).unwrap();
+        assert!(outcome.result.output.same_tuples(&truth));
+    }
+
+    #[test]
+    fn partial_hypercube_rejects_epsilon_one() {
+        let q = families::chain(2);
+        assert!(PartialHyperCubeProgram::new(&q, 4, Rational::ONE, 1).is_err());
+    }
+
+    #[test]
+    fn seeded_permutation_is_a_permutation() {
+        let p = seeded_permutation(100, 3);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_eq!(p, seeded_permutation(100, 3));
+        assert_ne!(p, seeded_permutation(100, 4));
+    }
+}

@@ -1,0 +1,72 @@
+//! **mpc-core** — the algorithms and bounds of *Beame, Koutris & Suciu,
+//! "Communication Steps for Parallel Query Processing" (PODS 2013)*.
+//!
+//! Built on the substrates of this workspace (`mpc-cq` queries, `mpc-lp`
+//! exact LPs, `mpc-storage` relations, `mpc-data` generators and `mpc-sim`
+//! — the MPC cluster simulator), this crate provides the paper's actual
+//! contributions:
+//!
+//! * [`shares`] — HyperCube *share exponents* `e_i = v_i / τ` read off an
+//!   optimal fractional vertex cover, and their integer rounding to actual
+//!   per-variable shares `p_i` with `∏ p_i ≤ p` (Section 3.1).
+//! * [`hypercube`] — the **HyperCube (HC) algorithm**: the one-round
+//!   MPC(ε) program that routes every base tuple to all hypercube cells
+//!   consistent with its hashed coordinates and joins locally
+//!   (Proposition 3.2), plus the *partial-answer* variant run below the
+//!   space exponent (Proposition 3.11).
+//! * [`baseline`] — broadcast and single-key shuffle joins expressed as MPC
+//!   programs, for load comparisons.
+//! * [`space_exponent`] — `ε*(q) = 1 − 1/τ*(q)` and the one-round class
+//!   `Γ¹_ε` (Theorem 1.1, Corollary 3.10).
+//! * [`multiround`] — multi-round query plans (`Γ^r_ε`, Lemma 4.3 /
+//!   Example 4.2), their execution on the simulator, and the round lower
+//!   bounds from ε-good sets and (ε,r)-plans (Definition 4.4,
+//!   Theorem 4.5, Corollary 4.8, Lemma 4.9).
+//! * [`analysis`] — the one-stop [`analysis::QueryAnalysis`] report used by
+//!   the Table 1 / Table 2 reproduction binaries.
+//!
+//! # Quick start
+//!
+//! ```
+//! use mpc_core::prelude::*;
+//!
+//! // The triangle query C3 has τ* = 3/2, hence space exponent 1/3.
+//! let q = mpc_cq::families::triangle();
+//! let analysis = QueryAnalysis::analyze(&q).unwrap();
+//! assert_eq!(analysis.space_exponent, Rational::new(1, 3));
+//!
+//! // Run HyperCube on 8 servers over a random matching database.
+//! let db = mpc_data::matching_database(&q, 500, 42);
+//! let outcome = HyperCube::run(&q, &db, &MpcConfig::new(8, 1.0 / 3.0)).unwrap();
+//! let expected = mpc_storage::join::evaluate(&q, &db).unwrap();
+//! assert!(outcome.result.output.same_tuples(&expected));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod baseline;
+pub mod error;
+pub mod friedgut;
+pub mod hypercube;
+pub mod multiround;
+pub mod shares;
+pub mod space_exponent;
+
+pub use error::CoreError;
+
+/// Convenience result alias used across this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Commonly used items, re-exported for downstream crates and examples.
+pub mod prelude {
+    pub use crate::analysis::QueryAnalysis;
+    pub use crate::hypercube::{HyperCube, PartialHyperCube};
+    pub use crate::multiround::executor::PlanProgram;
+    pub use crate::multiround::planner::MultiRoundPlan;
+    pub use crate::shares::ShareAllocation;
+    pub use crate::space_exponent::{gamma_one_contains, space_exponent};
+    pub use mpc_lp::Rational;
+    pub use mpc_sim::{Cluster, MpcConfig};
+}

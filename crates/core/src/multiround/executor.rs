@@ -1,0 +1,388 @@
+//! Execution of multi-round plans on the MPC simulator.
+//!
+//! A [`MultiRoundPlan`] is turned into an [`MpcProgram`] as follows. Every
+//! operator gets its own HyperCube share allocation (over the operator's
+//! variables) and hash seeds. Base relations are routed in round 1 straight
+//! to the hypercube cells of the operator that consumes them — even if that
+//! operator only runs in a later round, the routing depends only on the
+//! tuple, so the data simply waits at the right server. At the end of each
+//! round every server locally evaluates the operators of that round for
+//! which it holds data, producing intermediate views; at the beginning of
+//! the next round the view tuples are shipped — as join tuples, exactly
+//! what the tuple-based MPC model of Section 4.1 permits — to the cells of
+//! the operator that consumes them. After the final round each server
+//! projects its part of the final view onto the original variable order.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mpc_cq::{Atom, Query};
+use mpc_lp::Rational;
+use mpc_sim::program::hash_value;
+use mpc_sim::{Cluster, MpcConfig, MpcProgram, Routed, RunResult, ServerState};
+use mpc_storage::{Database, Relation, Tuple};
+
+use crate::error::CoreError;
+use crate::multiround::planner::MultiRoundPlan;
+use crate::shares::ShareAllocation;
+use crate::Result;
+
+/// One operator of a plan, instantiated for execution: its share
+/// allocation and hash seeds.
+#[derive(Debug, Clone)]
+struct OperatorExec {
+    round: usize,
+    view_name: String,
+    query: Query,
+    alloc: ShareAllocation,
+    seeds: Vec<u64>,
+}
+
+impl OperatorExec {
+    /// HyperCube destinations of one tuple of `atom` (an atom of this
+    /// operator's query).
+    fn destinations(&self, atom: &Atom, tuple: &Tuple) -> Vec<usize> {
+        let mut partial: Vec<Option<usize>> = vec![None; self.query.num_vars()];
+        for (pos, var) in atom.vars.iter().enumerate() {
+            let value = tuple.values()[pos];
+            let coord = hash_value(self.seeds[var.0], value, self.alloc.share(*var).max(1));
+            partial[var.0] = Some(coord);
+        }
+        self.alloc.consistent_cells(&partial)
+    }
+}
+
+/// A multi-round plan compiled into an executable MPC program.
+#[derive(Debug, Clone)]
+pub struct PlanProgram {
+    original: Query,
+    num_rounds: usize,
+    operators: Vec<OperatorExec>,
+    /// Relation/view name → index of the operator that consumes it.
+    consumer_of: HashMap<String, usize>,
+    /// View name → round in which it is produced.
+    produced_in_round: HashMap<String, usize>,
+    /// For each original variable (in order), the column of the final view
+    /// holding its value.
+    final_projection: Vec<usize>,
+    final_view: String,
+}
+
+impl PlanProgram {
+    /// Compile a plan for execution on `p` servers with the given hash
+    /// seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates plan-validation and share-allocation errors; rejects
+    /// plans in which one relation is consumed by two operators.
+    pub fn new(plan: &MultiRoundPlan, p: usize, seed: u64) -> Result<Self> {
+        plan.validate()?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut operators = Vec::new();
+        let mut consumer_of = HashMap::new();
+        let mut produced_in_round = HashMap::new();
+
+        for (li, level) in plan.levels().iter().enumerate() {
+            let round = li + 1;
+            for op in &level.operators {
+                let alloc = ShareAllocation::optimal(&op.query, p)?;
+                let seeds: Vec<u64> = (0..op.query.num_vars()).map(|_| rng.gen()).collect();
+                let index = operators.len();
+                for atom in op.query.atoms() {
+                    if consumer_of.insert(atom.name.clone(), index).is_some() {
+                        return Err(CoreError::InvalidPlan(format!(
+                            "relation {} is consumed by two operators",
+                            atom.name
+                        )));
+                    }
+                }
+                produced_in_round.insert(op.view_name.clone(), round);
+                operators.push(OperatorExec {
+                    round,
+                    view_name: op.view_name.clone(),
+                    query: op.query.clone(),
+                    alloc,
+                    seeds,
+                });
+            }
+        }
+
+        let final_op = operators.last().ok_or_else(|| {
+            CoreError::InvalidPlan("plan has no operators".to_string())
+        })?;
+        let final_view = final_op.view_name.clone();
+        let final_vars = final_op.query.var_names();
+        let mut final_projection = Vec::with_capacity(plan.original().num_vars());
+        for v in plan.original().var_names() {
+            let col = final_vars.iter().position(|w| w == v).ok_or_else(|| {
+                CoreError::InvalidPlan(format!("final operator does not bind {v}"))
+            })?;
+            final_projection.push(col);
+        }
+
+        Ok(PlanProgram {
+            original: plan.original().clone(),
+            num_rounds: plan.num_rounds(),
+            operators,
+            consumer_of,
+            produced_in_round,
+            final_projection,
+            final_view,
+        })
+    }
+
+    /// The query this program computes.
+    pub fn original(&self) -> &Query {
+        &self.original
+    }
+}
+
+impl MpcProgram for PlanProgram {
+    fn num_rounds(&self) -> usize {
+        self.num_rounds
+    }
+
+    fn route_input(&self, relation: &Relation, _p: usize) -> mpc_sim::Result<Vec<Routed>> {
+        let Some(&op_idx) = self.consumer_of.get(relation.name()) else {
+            return Ok(Vec::new());
+        };
+        let op = &self.operators[op_idx];
+        let Some((_, atom)) = op.query.atom_by_name(relation.name()) else {
+            return Ok(Vec::new());
+        };
+        Ok(relation
+            .iter()
+            .map(|t| Routed::new(relation.name(), t.clone(), op.destinations(atom, t)))
+            .collect())
+    }
+
+    fn compute(
+        &self,
+        round: usize,
+        _server: usize,
+        state: &ServerState,
+    ) -> mpc_sim::Result<Vec<Relation>> {
+        let mut produced = Vec::new();
+        for op in self.operators.iter().filter(|op| op.round == round) {
+            if op.query.atoms().iter().any(|a| state.relation(&a.name).is_none()) {
+                continue;
+            }
+            let db = state.as_database();
+            let view = mpc_storage::join::evaluate(&op.query, &db)?;
+            produced.push(view);
+        }
+        Ok(produced)
+    }
+
+    fn route_tuples(
+        &self,
+        round: usize,
+        _server: usize,
+        state: &ServerState,
+    ) -> mpc_sim::Result<Vec<Routed>> {
+        let mut msgs = Vec::new();
+        for op in self.operators.iter().filter(|op| op.round == round) {
+            for atom in op.query.atoms() {
+                // Base relations were already placed in round 1; only views
+                // produced in earlier rounds travel now.
+                let Some(&produced_round) = self.produced_in_round.get(&atom.name) else {
+                    continue;
+                };
+                if produced_round >= round {
+                    continue;
+                }
+                let Some(rel) = state.relation(&atom.name) else {
+                    continue;
+                };
+                for t in rel.iter() {
+                    msgs.push(Routed::new(atom.name.clone(), t.clone(), op.destinations(atom, t)));
+                }
+            }
+        }
+        Ok(msgs)
+    }
+
+    fn output(&self, _server: usize, state: &ServerState) -> mpc_sim::Result<Relation> {
+        let mut out = Relation::empty(self.original.name(), self.original.num_vars());
+        if let Some(view) = state.relation(&self.final_view) {
+            for t in view.iter() {
+                let projected: Vec<u64> =
+                    self.final_projection.iter().map(|&c| t.values()[c]).collect();
+                out.insert(Tuple(projected))
+                    .map_err(|e| mpc_sim::SimError::Storage(e.to_string()))?;
+            }
+        }
+        Ok(out)
+    }
+
+    fn output_name(&self) -> String {
+        self.original.name().to_string()
+    }
+
+    fn output_arity(&self) -> usize {
+        self.original.num_vars()
+    }
+}
+
+/// The outcome of running a multi-round plan.
+#[derive(Debug, Clone)]
+pub struct MultiRoundOutcome {
+    /// Simulator output and per-round statistics.
+    pub result: RunResult,
+    /// The plan that was executed.
+    pub plan: MultiRoundPlan,
+}
+
+/// Convenience runner: plan + execute a query with multiple rounds.
+#[derive(Debug, Clone)]
+pub struct MultiRound;
+
+impl MultiRound {
+    /// Plan `q` at the given space exponent and execute it on `db` with `p`
+    /// servers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning, allocation and simulation errors.
+    pub fn run(
+        q: &Query,
+        db: &Database,
+        p: usize,
+        epsilon: Rational,
+        seed: u64,
+    ) -> Result<MultiRoundOutcome> {
+        let plan = MultiRoundPlan::build(q, epsilon)?;
+        Self::run_plan(&plan, db, p, seed)
+    }
+
+    /// Execute an existing plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation and simulation errors.
+    pub fn run_plan(
+        plan: &MultiRoundPlan,
+        db: &Database,
+        p: usize,
+        seed: u64,
+    ) -> Result<MultiRoundOutcome> {
+        let program = PlanProgram::new(plan, p, seed)?;
+        let config = MpcConfig::new(p, plan.epsilon().to_f64().clamp(0.0, 1.0));
+        let cluster = Cluster::new(config)?;
+        let result = cluster.run(&program, db)?;
+        Ok(MultiRoundOutcome { result, plan: plan.clone() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_cq::families;
+    use mpc_data::matching_database;
+    use mpc_storage::join::evaluate;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn chain_l4_two_rounds_at_epsilon_zero() {
+        let q = families::chain(4);
+        let db = matching_database(&q, 1200, 3);
+        let outcome = MultiRound::run(&q, &db, 16, Rational::ZERO, 7).unwrap();
+        assert_eq!(outcome.result.num_rounds(), 2);
+        let expected = evaluate(&q, &db).unwrap();
+        assert_eq!(expected.len(), 1200);
+        assert!(outcome.result.output.same_tuples(&expected));
+        assert!(outcome.result.within_budget(), "L4 bushy plan stays within the ε = 0 budget");
+    }
+
+    #[test]
+    fn chain_l16_two_rounds_at_epsilon_half() {
+        // Example 4.2.
+        let q = families::chain(16);
+        let db = matching_database(&q, 300, 5);
+        let outcome = MultiRound::run(&q, &db, 16, r(1, 2), 11).unwrap();
+        assert_eq!(outcome.result.num_rounds(), 2);
+        let expected = evaluate(&q, &db).unwrap();
+        assert!(outcome.result.output.same_tuples(&expected));
+    }
+
+    #[test]
+    fn chain_l8_three_rounds_at_epsilon_zero() {
+        let q = families::chain(8);
+        let db = matching_database(&q, 500, 23);
+        let outcome = MultiRound::run(&q, &db, 8, Rational::ZERO, 2).unwrap();
+        assert_eq!(outcome.result.num_rounds(), 3);
+        let expected = evaluate(&q, &db).unwrap();
+        assert!(outcome.result.output.same_tuples(&expected));
+    }
+
+    #[test]
+    fn spoke_two_rounds_at_epsilon_zero() {
+        let q = families::spoke(3);
+        let db = matching_database(&q, 400, 9);
+        let outcome = MultiRound::run(&q, &db, 9, Rational::ZERO, 3).unwrap();
+        assert_eq!(outcome.result.num_rounds(), 2);
+        let expected = evaluate(&q, &db).unwrap();
+        assert!(outcome.result.output.same_tuples(&expected));
+    }
+
+    #[test]
+    fn cycle_c6_multi_round_matches_sequential() {
+        let q = families::cycle(6);
+        let db = matching_database(&q, 400, 13);
+        let outcome = MultiRound::run(&q, &db, 8, Rational::ZERO, 5).unwrap();
+        assert_eq!(outcome.result.num_rounds(), 3);
+        let expected = evaluate(&q, &db).unwrap();
+        assert!(outcome.result.output.same_tuples(&expected));
+    }
+
+    #[test]
+    fn single_round_queries_collapse_to_hypercube() {
+        let q = families::star(3);
+        let db = matching_database(&q, 600, 21);
+        let outcome = MultiRound::run(&q, &db, 8, Rational::ZERO, 1).unwrap();
+        assert_eq!(outcome.result.num_rounds(), 1);
+        let expected = evaluate(&q, &db).unwrap();
+        assert!(outcome.result.output.same_tuples(&expected));
+    }
+
+    #[test]
+    fn binomial_query_multi_round() {
+        let q = families::binomial(4, 2).unwrap();
+        let db = matching_database(&q, 200, 2);
+        let outcome = MultiRound::run(&q, &db, 8, Rational::ZERO, 17).unwrap();
+        let expected = evaluate(&q, &db).unwrap();
+        assert!(outcome.result.output.same_tuples(&expected));
+        assert_eq!(outcome.result.num_rounds(), 2);
+    }
+
+    #[test]
+    fn plan_reuse_with_different_seeds_is_consistent() {
+        let q = families::chain(6);
+        let db = matching_database(&q, 300, 4);
+        let plan = MultiRoundPlan::build(&q, Rational::ZERO).unwrap();
+        let a = MultiRound::run_plan(&plan, &db, 8, 1).unwrap();
+        let b = MultiRound::run_plan(&plan, &db, 8, 2).unwrap();
+        assert!(a.result.output.same_tuples(&b.result.output));
+        let expected = evaluate(&q, &db).unwrap();
+        assert!(a.result.output.same_tuples(&expected));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let q = families::chain(5);
+        let db = matching_database(&q, 200, 6);
+        let a = MultiRound::run(&q, &db, 8, Rational::ZERO, 99).unwrap();
+        let b = MultiRound::run(&q, &db, 8, Rational::ZERO, 99).unwrap();
+        assert_eq!(a.result.output.sorted_tuples(), b.result.output.sorted_tuples());
+        assert_eq!(
+            a.result.rounds.iter().map(|r| r.total_bytes_received).collect::<Vec<_>>(),
+            b.result.rounds.iter().map(|r| r.total_bytes_received).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type for query construction and parsing.
+
+use std::fmt;
+
+/// Errors raised while constructing, parsing or transforming a conjunctive
+/// query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CqError {
+    /// The query has no atoms; the MPC analysis requires at least one.
+    EmptyQuery,
+    /// Two atoms share the same relation symbol (the paper restricts to
+    /// queries *without self-joins*, Section 2.3).
+    SelfJoin(String),
+    /// An atom has zero variables.
+    NullaryAtom(String),
+    /// A head variable does not occur in any atom (the query would not be
+    /// *full*).
+    UnboundHeadVariable(String),
+    /// A body variable does not occur in the head even though the query is
+    /// declared full.
+    NonFullQuery(String),
+    /// An atom identifier is out of range for this query.
+    UnknownAtom(usize),
+    /// A variable identifier is out of range for this query.
+    UnknownVariable(usize),
+    /// The parser failed; the payload is a human-readable explanation with
+    /// the offending fragment.
+    Parse(String),
+    /// A query-family parameter is outside its meaningful range
+    /// (e.g. a cycle of length < 2).
+    InvalidFamilyParameter(String),
+    /// A structural operation required a connected query but the query was
+    /// disconnected.
+    Disconnected(String),
+}
+
+impl fmt::Display for CqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CqError::EmptyQuery => write!(f, "query has no atoms"),
+            CqError::SelfJoin(rel) => {
+                write!(f, "relation `{rel}` appears more than once (self-joins are not supported)")
+            }
+            CqError::NullaryAtom(rel) => write!(f, "atom `{rel}` has no variables"),
+            CqError::UnboundHeadVariable(v) => {
+                write!(f, "head variable `{v}` does not occur in the body")
+            }
+            CqError::NonFullQuery(v) => {
+                write!(f, "body variable `{v}` is missing from the head; only full queries are supported")
+            }
+            CqError::UnknownAtom(id) => write!(f, "atom id {id} out of range"),
+            CqError::UnknownVariable(id) => write!(f, "variable id {id} out of range"),
+            CqError::Parse(msg) => write!(f, "parse error: {msg}"),
+            CqError::InvalidFamilyParameter(msg) => write!(f, "invalid family parameter: {msg}"),
+            CqError::Disconnected(msg) => write!(f, "query is not connected: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CqError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CqError::SelfJoin("R".to_string());
+        assert!(e.to_string().contains('R'));
+        let e = CqError::Parse("unexpected token `)`".to_string());
+        assert!(e.to_string().contains("unexpected token"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<CqError>();
+    }
+}

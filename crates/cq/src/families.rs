@@ -1,0 +1,254 @@
+//! The paper's running query families (Table 1 and Section 4.1).
+//!
+//! | Family | Definition | τ*(q) | space exponent ε* |
+//! |--------|------------|-------|-------------------|
+//! | `cycle(k)` = `C_k` | `⋀_{j=1}^{k} S_j(x_j, x_{(j mod k)+1})` | `k/2` | `1 − 2/k` |
+//! | `star(k)` = `T_k` | `⋀_{j=1}^{k} S_j(z, x_j)` | `1` | `0` |
+//! | `chain(k)` = `L_k` | `⋀_{j=1}^{k} S_j(x_{j−1}, x_j)` | `⌈k/2⌉` | `1 − 1/⌈k/2⌉` |
+//! | `binomial(k,m)` = `B_{k,m}` | `⋀_{I ⊆ [k], |I|=m} S_I(x̄_I)` | `k/m` | `1 − m/k` |
+//! | `spoke(k)` = `SP_k` | `⋀_{i=1}^{k} R_i(z,x_i), S_i(x_i,y_i)` | `k` | `1 − 1/k` |
+//!
+//! plus [`witness_query`], the query of Proposition 3.12 used for the
+//! JOIN-WITNESS lower bound.
+
+use crate::error::CqError;
+use crate::query::Query;
+use crate::Result;
+
+/// The chain (path) query `L_k(x0,…,xk) = S1(x0,x1), …, Sk(x_{k−1},x_k)`.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn chain(k: usize) -> Query {
+    assert!(k >= 1, "chain length must be at least 1");
+    let atoms = (1..=k)
+        .map(|j| (format!("S{j}"), vec![format!("x{}", j - 1), format!("x{j}")]))
+        .collect::<Vec<_>>();
+    Query::new(format!("L{k}"), atoms).expect("chain construction is valid")
+}
+
+/// The cycle query `C_k(x1,…,xk) = S1(x1,x2), S2(x2,x3), …, Sk(xk,x1)`.
+///
+/// # Panics
+///
+/// Panics if `k < 2` (a cycle needs at least two edges).
+pub fn cycle(k: usize) -> Query {
+    assert!(k >= 2, "cycle length must be at least 2");
+    let atoms = (1..=k)
+        .map(|j| {
+            let next = (j % k) + 1;
+            (format!("S{j}"), vec![format!("x{j}"), format!("x{next}")])
+        })
+        .collect::<Vec<_>>();
+    Query::new(format!("C{k}"), atoms).expect("cycle construction is valid")
+}
+
+/// The star query `T_k(z,x1,…,xk) = S1(z,x1), …, Sk(z,xk)`.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn star(k: usize) -> Query {
+    assert!(k >= 1, "star must have at least one ray");
+    let atoms = (1..=k)
+        .map(|j| (format!("S{j}"), vec!["z".to_string(), format!("x{j}")]))
+        .collect::<Vec<_>>();
+    Query::new(format!("T{k}"), atoms).expect("star construction is valid")
+}
+
+/// The query `B_{k,m}` with one `m`-ary relation `S_I(x̄_I)` for every
+/// subset `I ⊆ [k]` of size `m` (Table 1).
+///
+/// # Errors
+///
+/// Returns [`CqError::InvalidFamilyParameter`] unless `1 ≤ m ≤ k` and the
+/// number of atoms `C(k,m)` is at most 10 000.
+pub fn binomial(k: usize, m: usize) -> Result<Query> {
+    if m == 0 || m > k {
+        return Err(CqError::InvalidFamilyParameter(format!(
+            "binomial(k={k}, m={m}) requires 1 <= m <= k"
+        )));
+    }
+    let subsets = subsets_of_size(k, m);
+    if subsets.len() > 10_000 {
+        return Err(CqError::InvalidFamilyParameter(format!(
+            "binomial(k={k}, m={m}) would create {} atoms",
+            subsets.len()
+        )));
+    }
+    let atoms = subsets
+        .into_iter()
+        .map(|subset| {
+            let name = format!(
+                "S_{}",
+                subset.iter().map(|i| i.to_string()).collect::<Vec<_>>().join("_")
+            );
+            let vars = subset.iter().map(|i| format!("x{i}")).collect::<Vec<_>>();
+            (name, vars)
+        })
+        .collect::<Vec<_>>();
+    Query::new(format!("B{k}_{m}"), atoms)
+}
+
+/// The "spoke" query `SP_k(z, x1, y1, …, xk, yk) = ⋀_i R_i(z,x_i), S_i(x_i,y_i)`
+/// from Example 4.2: one round needs replication `p^{1−1/k}`, but a 2-round
+/// plan needs none.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn spoke(k: usize) -> Query {
+    assert!(k >= 1, "spoke must have at least one arm");
+    let mut atoms = Vec::with_capacity(2 * k);
+    for i in 1..=k {
+        atoms.push((format!("R{i}"), vec!["z".to_string(), format!("x{i}")]));
+        atoms.push((format!("S{i}"), vec![format!("x{i}"), format!("y{i}")]));
+    }
+    Query::new(format!("SP{k}"), atoms).expect("spoke construction is valid")
+}
+
+/// The JOIN-WITNESS query of Proposition 3.12:
+/// `q(w,x,y,z) = R(w), S1(w,x), S2(x,y), S3(y,z), T(z)`.
+pub fn witness_query() -> Query {
+    Query::new(
+        "W",
+        vec![
+            ("R", vec!["w"]),
+            ("S1", vec!["w", "x"]),
+            ("S2", vec!["x", "y"]),
+            ("S3", vec!["y", "z"]),
+            ("T", vec!["z"]),
+        ],
+    )
+    .expect("witness query construction is valid")
+}
+
+/// The two-way join `L_2 = S1(x,y), S2(y,z)` highlighted in the
+/// introduction (space exponent 0).
+pub fn two_way_join() -> Query {
+    chain(2)
+}
+
+/// The triangle query `C_3` (space exponent 1/3), the canonical HyperCube
+/// example (Example 3.1).
+pub fn triangle() -> Query {
+    cycle(3)
+}
+
+/// All subsets of `{1,…,k}` of the given size, in lexicographic order.
+fn subsets_of_size(k: usize, m: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut current = Vec::with_capacity(m);
+    fn rec(start: usize, k: usize, m: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if current.len() == m {
+            out.push(current.clone());
+            return;
+        }
+        for i in start..=k {
+            if k - i + 1 < m - current.len() {
+                break;
+            }
+            current.push(i);
+            rec(i + 1, k, m, current, out);
+            current.pop();
+        }
+    }
+    rec(1, k, m, &mut current, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_shape() {
+        let q = chain(4);
+        assert_eq!(q.num_atoms(), 4);
+        assert_eq!(q.num_vars(), 5);
+        assert!(q.is_connected());
+        assert_eq!(q.to_string(), "L4(x0,x1,x2,x3,x4) :- S1(x0,x1), S2(x1,x2), S3(x2,x3), S4(x3,x4)");
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let q = cycle(5);
+        assert_eq!(q.num_atoms(), 5);
+        assert_eq!(q.num_vars(), 5);
+        assert!(q.is_connected());
+        // The last atom wraps around to x1.
+        let (_, last) = q.atom_by_name("S5").unwrap();
+        assert_eq!(q.var_name(last.vars[1]).unwrap(), "x1");
+    }
+
+    #[test]
+    fn star_shape() {
+        let q = star(3);
+        assert_eq!(q.num_atoms(), 3);
+        assert_eq!(q.num_vars(), 4);
+        assert!(q.has_variable_in_all_atoms());
+    }
+
+    #[test]
+    fn binomial_shape() {
+        let q = binomial(4, 2).unwrap();
+        assert_eq!(q.num_atoms(), 6); // C(4,2)
+        assert_eq!(q.num_vars(), 4);
+        assert!(q.is_connected());
+        let q = binomial(3, 3).unwrap();
+        assert_eq!(q.num_atoms(), 1);
+        assert_eq!(q.num_vars(), 3);
+    }
+
+    #[test]
+    fn binomial_rejects_bad_parameters() {
+        assert!(binomial(3, 0).is_err());
+        assert!(binomial(3, 4).is_err());
+    }
+
+    #[test]
+    fn spoke_shape() {
+        let q = spoke(3);
+        assert_eq!(q.num_atoms(), 6);
+        assert_eq!(q.num_vars(), 7);
+        assert!(q.is_connected());
+        assert!(!q.has_variable_in_all_atoms());
+        assert!(q.is_tree_like());
+    }
+
+    #[test]
+    fn witness_query_shape() {
+        let q = witness_query();
+        assert_eq!(q.num_atoms(), 5);
+        assert_eq!(q.num_vars(), 4);
+        assert!(q.is_connected());
+        assert_eq!(q.total_arity(), 8);
+    }
+
+    #[test]
+    fn convenience_aliases() {
+        assert_eq!(two_way_join().num_atoms(), 2);
+        assert_eq!(triangle().num_atoms(), 3);
+    }
+
+    #[test]
+    fn subsets_enumeration() {
+        assert_eq!(subsets_of_size(4, 2).len(), 6);
+        assert_eq!(subsets_of_size(5, 1).len(), 5);
+        assert_eq!(subsets_of_size(5, 5).len(), 1);
+        assert_eq!(subsets_of_size(5, 5)[0], vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "chain length")]
+    fn chain_zero_panics() {
+        chain(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle length")]
+    fn cycle_one_panics() {
+        cycle(1);
+    }
+}

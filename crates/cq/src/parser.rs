@@ -1,0 +1,242 @@
+//! A small text parser for conjunctive queries.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! query  :=  head sep body
+//! head   :=  NAME '(' varlist ')'
+//! sep    :=  ':-' | '='
+//! body   :=  atom (',' atom)*
+//! atom   :=  NAME '(' varlist ')'
+//! varlist:=  NAME (',' NAME)*
+//! ```
+//!
+//! The parsed query must be *full*: every body variable must occur in the
+//! head and vice-versa, matching the class of queries studied in the paper.
+//!
+//! ```
+//! use mpc_cq::parser::parse_query;
+//!
+//! let q = parse_query("C3(x,y,z) :- S1(x,y), S2(y,z), S3(z,x)").unwrap();
+//! assert_eq!(q.num_atoms(), 3);
+//! assert_eq!(q.characteristic(), -1);
+//! ```
+
+use std::collections::BTreeSet;
+
+use crate::error::CqError;
+use crate::query::Query;
+use crate::Result;
+
+/// Parse a conjunctive query from its textual form.
+///
+/// # Errors
+///
+/// Returns [`CqError::Parse`] for malformed input,
+/// [`CqError::NonFullQuery`] / [`CqError::UnboundHeadVariable`] when the
+/// head and body variable sets differ, and any error of [`Query::new`]
+/// (self-joins, empty bodies, ...).
+pub fn parse_query(input: &str) -> Result<Query> {
+    let (head, body) = split_head_body(input)?;
+    let (name, head_vars) = parse_predicate(head)?;
+
+    let mut atoms = Vec::new();
+    for atom_src in split_atoms(body)? {
+        let (rel, vars) = parse_predicate(&atom_src)?;
+        if vars.is_empty() {
+            return Err(CqError::NullaryAtom(rel));
+        }
+        atoms.push((rel, vars));
+    }
+
+    // Fullness check: head variables = body variables (as sets).
+    let body_vars: BTreeSet<&String> = atoms.iter().flat_map(|(_, vs)| vs.iter()).collect();
+    let head_set: BTreeSet<&String> = head_vars.iter().collect();
+    for v in &head_set {
+        if !body_vars.contains(*v) {
+            return Err(CqError::UnboundHeadVariable((*v).clone()));
+        }
+    }
+    for v in &body_vars {
+        if !head_set.contains(*v) {
+            return Err(CqError::NonFullQuery((*v).clone()));
+        }
+    }
+
+    Query::new(name, atoms)
+}
+
+fn split_head_body(input: &str) -> Result<(&str, &str)> {
+    if let Some(pos) = input.find(":-") {
+        return Ok((&input[..pos], &input[pos + 2..]));
+    }
+    // Fall back to `=`, but only one that is not inside parentheses.
+    let mut depth = 0i32;
+    for (i, c) in input.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth -= 1,
+            '=' if depth == 0 => return Ok((&input[..i], &input[i + 1..])),
+            _ => {}
+        }
+    }
+    Err(CqError::Parse("missing `:-` or `=` separating head and body".to_string()))
+}
+
+/// Split a body into atom substrings, respecting parenthesis nesting.
+fn split_atoms(body: &str) -> Result<Vec<String>> {
+    let mut atoms = Vec::new();
+    let mut depth = 0i32;
+    let mut current = String::new();
+    for c in body.chars() {
+        match c {
+            '(' => {
+                depth += 1;
+                current.push(c);
+            }
+            ')' => {
+                depth -= 1;
+                if depth < 0 {
+                    return Err(CqError::Parse("unbalanced `)`".to_string()));
+                }
+                current.push(c);
+            }
+            ',' if depth == 0 => {
+                if !current.trim().is_empty() {
+                    atoms.push(current.trim().to_string());
+                }
+                current.clear();
+            }
+            _ => current.push(c),
+        }
+    }
+    if depth != 0 {
+        return Err(CqError::Parse("unbalanced `(`".to_string()));
+    }
+    if !current.trim().is_empty() {
+        atoms.push(current.trim().to_string());
+    }
+    if atoms.is_empty() {
+        return Err(CqError::Parse("query body is empty".to_string()));
+    }
+    Ok(atoms)
+}
+
+/// Parse `Name(v1, v2, ...)` into the name and its variable list.
+fn parse_predicate(src: &str) -> Result<(String, Vec<String>)> {
+    let src = src.trim();
+    let open = src
+        .find('(')
+        .ok_or_else(|| CqError::Parse(format!("expected `(` in `{src}`")))?;
+    if !src.ends_with(')') {
+        return Err(CqError::Parse(format!("expected trailing `)` in `{src}`")));
+    }
+    let name = src[..open].trim();
+    if name.is_empty() || !is_identifier(name) {
+        return Err(CqError::Parse(format!("`{name}` is not a valid identifier in `{src}`")));
+    }
+    let inner = &src[open + 1..src.len() - 1];
+    let mut vars = Vec::new();
+    for piece in inner.split(',') {
+        let v = piece.trim();
+        if v.is_empty() {
+            if inner.trim().is_empty() && vars.is_empty() {
+                break; // zero-argument predicate; caller decides validity
+            }
+            return Err(CqError::Parse(format!("empty variable name in `{src}`")));
+        }
+        if !is_identifier(v) {
+            return Err(CqError::Parse(format!("`{v}` is not a valid variable name in `{src}`")));
+        }
+        vars.push(v.to_string());
+    }
+    Ok((name.to_string(), vars))
+}
+
+fn is_identifier(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families;
+
+    #[test]
+    fn parses_triangle() {
+        let q = parse_query("C3(x1,x2,x3) :- S1(x1,x2), S2(x2,x3), S3(x3,x1)").unwrap();
+        assert_eq!(q.num_atoms(), 3);
+        assert_eq!(q.num_vars(), 3);
+        assert_eq!(q.characteristic(), families::cycle(3).characteristic());
+    }
+
+    #[test]
+    fn parses_with_equals_separator() {
+        let q = parse_query("L2(x,y,z) = S1(x,y), S2(y,z)").unwrap();
+        assert_eq!(q.num_atoms(), 2);
+        assert_eq!(q.diameter(), Some(2));
+    }
+
+    #[test]
+    fn tolerates_whitespace() {
+        let q = parse_query("  q ( x , y )  :-   R ( x , y )  ").unwrap();
+        assert_eq!(q.num_atoms(), 1);
+        assert_eq!(q.num_vars(), 2);
+    }
+
+    #[test]
+    fn display_round_trip() {
+        let q = families::chain(3);
+        let reparsed = parse_query(&q.to_string()).unwrap();
+        assert_eq!(reparsed.num_atoms(), q.num_atoms());
+        assert_eq!(reparsed.num_vars(), q.num_vars());
+        assert_eq!(reparsed.characteristic(), q.characteristic());
+        assert_eq!(reparsed.diameter(), q.diameter());
+    }
+
+    #[test]
+    fn rejects_missing_separator() {
+        assert!(parse_query("q(x) R(x)").is_err());
+    }
+
+    #[test]
+    fn rejects_non_full_query() {
+        // y occurs in the body but not the head.
+        let err = parse_query("q(x) :- R(x,y)").unwrap_err();
+        assert!(matches!(err, CqError::NonFullQuery(_)));
+    }
+
+    #[test]
+    fn rejects_unbound_head_variable() {
+        let err = parse_query("q(x,z) :- R(x,y), S(y,x)").unwrap_err();
+        assert!(matches!(err, CqError::UnboundHeadVariable(_)));
+    }
+
+    #[test]
+    fn rejects_self_join() {
+        let err = parse_query("q(x,y,z) :- R(x,y), R(y,z)").unwrap_err();
+        assert!(matches!(err, CqError::SelfJoin(_)));
+    }
+
+    #[test]
+    fn rejects_unbalanced_parentheses() {
+        assert!(parse_query("q(x :- R(x)").is_err());
+        assert!(parse_query("q(x) :- R(x))").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_identifiers() {
+        assert!(parse_query("q(1x) :- R(1x)").is_err());
+        assert!(parse_query("q(x) :- 2R(x)").is_err());
+    }
+
+    #[test]
+    fn rejects_empty_body() {
+        assert!(parse_query("q(x) :- ").is_err());
+    }
+}

@@ -1,0 +1,166 @@
+//! Skewed data generators.
+//!
+//! The HyperCube load guarantees of Proposition 3.2 are stated for matching
+//! databases — skew-free inputs in which every attribute is a key. Real
+//! data has heavy hitters; the skew ablation (experiment E7 in DESIGN.md)
+//! compares per-server loads on these skewed inputs against matchings.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use mpc_cq::Query;
+use mpc_storage::{Database, Relation, Tuple};
+
+/// Sample `count` binary tuples whose *first* attribute follows a Zipf
+/// distribution with exponent `theta` over `[n]` and whose second attribute
+/// is uniform over `[n]`. `theta = 0` is uniform; larger values concentrate
+/// mass on small keys.
+pub fn zipf_relation(name: &str, n: u64, count: usize, theta: f64, rng: &mut StdRng) -> Relation {
+    assert!(n >= 1);
+    // Precompute the Zipf CDF.
+    let weights: Vec<f64> = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(n as usize);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+
+    let mut rel = Relation::empty(name, 2);
+    let mut inserted = 0usize;
+    let mut attempts = 0usize;
+    // Rejection on duplicates: cap attempts so adversarial parameters
+    // (count close to n²) still terminate.
+    while inserted < count && attempts < count * 20 {
+        attempts += 1;
+        let u: f64 = rng.gen();
+        let x = match cdf.binary_search_by(|c| c.partial_cmp(&u).expect("no NaN in CDF")) {
+            Ok(i) => i as u64 + 1,
+            Err(i) => (i as u64 + 1).min(n),
+        };
+        let y = rng.gen_range(1..=n);
+        if rel.insert(Tuple(vec![x, y])).expect("arity 2 by construction") {
+            inserted += 1;
+        }
+    }
+    rel
+}
+
+/// A binary relation with a single heavy hitter: a fraction `heavy_frac` of
+/// the `count` tuples share the same first-attribute value `1`; the rest is
+/// a matching-like diagonal. This is the canonical worst case for hash
+/// partitioning on the first attribute.
+pub fn heavy_hitter_relation(
+    name: &str,
+    n: u64,
+    count: usize,
+    heavy_frac: f64,
+    rng: &mut StdRng,
+) -> Relation {
+    assert!((0.0..=1.0).contains(&heavy_frac));
+    let heavy = ((count as f64) * heavy_frac).round() as usize;
+    let mut rel = Relation::empty(name, 2);
+    let mut y = 0u64;
+    while (rel.len()) < heavy && y < n {
+        y += 1;
+        rel.insert(Tuple(vec![1, y])).expect("arity 2 by construction");
+    }
+    while rel.len() < count {
+        let x = rng.gen_range(1..=n);
+        let y = rng.gen_range(1..=n);
+        rel.insert(Tuple(vec![x, y])).expect("arity 2 by construction");
+    }
+    rel
+}
+
+/// A database for a binary-relation query in which every relation is
+/// Zipf-skewed with the given exponent. Non-binary atoms are rejected.
+///
+/// # Panics
+///
+/// Panics if the query contains a non-binary atom (the skew generators are
+/// only defined for binary relations).
+pub fn zipf_database(q: &Query, n: u64, tuples_per_relation: usize, theta: f64, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new(n);
+    for atom in q.atoms() {
+        assert_eq!(atom.arity(), 2, "zipf_database only supports binary atoms");
+        db.insert_relation(zipf_relation(&atom.name, n, tuples_per_relation, theta, &mut rng));
+    }
+    db
+}
+
+/// Measure the *skew* of a relation's first attribute: the ratio between
+/// the most frequent value's count and the average count per distinct
+/// value. A matching has skew exactly 1.
+pub fn first_attribute_skew(rel: &Relation) -> f64 {
+    if rel.is_empty() {
+        return 1.0;
+    }
+    let mut counts = std::collections::HashMap::new();
+    for t in rel.iter() {
+        *counts.entry(t.values()[0]).or_insert(0usize) += 1;
+    }
+    let max = *counts.values().max().expect("non-empty") as f64;
+    let avg = rel.len() as f64 / counts.len() as f64;
+    max / avg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_cq::families;
+
+    #[test]
+    fn zipf_theta_zero_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let rel = zipf_relation("S", 1000, 2000, 0.0, &mut rng);
+        assert!(rel.len() >= 1900, "rejection sampling should find enough tuples");
+        assert!(first_attribute_skew(&rel) < 4.0);
+    }
+
+    #[test]
+    fn zipf_large_theta_is_skewed() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let uniform = zipf_relation("U", 1000, 2000, 0.0, &mut rng);
+        let skewed = zipf_relation("Z", 1000, 2000, 1.5, &mut rng);
+        assert!(
+            first_attribute_skew(&skewed) > 2.0 * first_attribute_skew(&uniform),
+            "zipf(1.5) should be much more skewed than uniform"
+        );
+    }
+
+    #[test]
+    fn heavy_hitter_concentration() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let rel = heavy_hitter_relation("H", 10_000, 1000, 0.5, &mut rng);
+        assert_eq!(rel.len(), 1000);
+        let ones = rel.iter().filter(|t| t.values()[0] == 1).count();
+        assert!(ones >= 450, "about half the tuples share the heavy key, got {ones}");
+        assert!(first_attribute_skew(&rel) > 50.0);
+    }
+
+    #[test]
+    fn zipf_database_is_deterministic() {
+        let q = families::cycle(3);
+        let a = zipf_database(&q, 500, 800, 1.0, 7);
+        let b = zipf_database(&q, 500, 800, 1.0, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.num_relations(), 3);
+    }
+
+    #[test]
+    fn matching_has_unit_skew() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let rel = crate::matching::matching_relation("S", 2, 100, &mut rng);
+        assert!((first_attribute_skew(&rel) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_relation_skew_is_one() {
+        let rel = Relation::empty("E", 2);
+        assert_eq!(first_attribute_skew(&rel), 1.0);
+    }
+}

@@ -1,0 +1,278 @@
+//! The two-round connected-components algorithm for dense graphs.
+//!
+//! Karloff, Suri & Vassilvitskii (SODA 2010) — cited in Section 1 of the
+//! paper as the contrast to Theorem 4.10 — show that connected components
+//! (and minimum spanning trees) of *sufficiently dense* graphs can be
+//! computed in O(1) MapReduce rounds. The scheme implemented here:
+//!
+//! 1. Round 1: hash-partition the edges arbitrarily across the `p`
+//!    servers; each server computes a spanning forest of its local edges
+//!    (at most `V − 1` edges survive).
+//! 2. Round 2: every server sends its forest edges to server 0, which has
+//!    now enough information to output the exact components.
+//!
+//! Server 0 receives at most `p · (V − 1)` edges; the input has `E` edges,
+//! so the round-2 load stays within the `c · N / p^{1−ε}` budget exactly
+//! when the graph is dense enough (`E ≳ p^{2−ε} · V`). On sparse inputs —
+//! like the layered path graphs of Theorem 4.10 — the same program blows
+//! the budget, which is precisely the dichotomy the experiment E5 reports.
+
+use std::collections::BTreeMap;
+
+use mpc_sim::program::hash_to_bucket;
+use mpc_sim::{Cluster, MpcConfig, MpcProgram, Routed, RunResult, ServerState};
+use mpc_storage::{Database, Relation, Tuple};
+
+use crate::cc::partition_matches;
+use crate::Result;
+
+const EDGE_TAG: &str = "E";
+const FOREST_TAG: &str = "Forest";
+
+/// The dense-graph two-round connected-components program.
+#[derive(Debug, Clone)]
+pub struct DenseTwoRoundCc {
+    seed: u64,
+}
+
+impl DenseTwoRoundCc {
+    /// Create the program.
+    pub fn new(seed: u64) -> Self {
+        DenseTwoRoundCc { seed }
+    }
+}
+
+/// Union-find over arbitrary vertex ids.
+fn components_of(edges: impl Iterator<Item = (u64, u64)>) -> BTreeMap<u64, u64> {
+    let mut parent: BTreeMap<u64, u64> = BTreeMap::new();
+    fn find(parent: &mut BTreeMap<u64, u64>, v: u64) -> u64 {
+        let mut root = v;
+        while let Some(&p) = parent.get(&root) {
+            if p == root {
+                break;
+            }
+            root = p;
+        }
+        let mut cur = v;
+        while let Some(&p) = parent.get(&cur) {
+            if p == cur {
+                break;
+            }
+            parent.insert(cur, root);
+            cur = p;
+        }
+        root
+    }
+    for (u, v) in edges {
+        parent.entry(u).or_insert(u);
+        parent.entry(v).or_insert(v);
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru != rv {
+            let (lo, hi) = if ru < rv { (ru, rv) } else { (rv, ru) };
+            parent.insert(hi, lo);
+        }
+    }
+    let keys: Vec<u64> = parent.keys().copied().collect();
+    let mut labels = BTreeMap::new();
+    for v in keys {
+        let r = find(&mut parent, v);
+        labels.insert(v, r);
+    }
+    labels
+}
+
+/// A spanning forest of the given edges (one representative edge per
+/// union-find merge).
+fn spanning_forest(edges: &Relation) -> Vec<(u64, u64)> {
+    let mut parent: BTreeMap<u64, u64> = BTreeMap::new();
+    fn find(parent: &mut BTreeMap<u64, u64>, v: u64) -> u64 {
+        let mut root = v;
+        while let Some(&p) = parent.get(&root) {
+            if p == root {
+                break;
+            }
+            root = p;
+        }
+        root
+    }
+    let mut forest = Vec::new();
+    for t in edges.iter() {
+        let (u, v) = (t.values()[0], t.values()[1]);
+        parent.entry(u).or_insert(u);
+        parent.entry(v).or_insert(v);
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru != rv {
+            parent.insert(ru.max(rv), ru.min(rv));
+            forest.push((u, v));
+        }
+    }
+    forest
+}
+
+impl MpcProgram for DenseTwoRoundCc {
+    fn num_rounds(&self) -> usize {
+        2
+    }
+
+    fn route_input(&self, relation: &Relation, p: usize) -> mpc_sim::Result<Vec<Routed>> {
+        Ok(relation
+            .iter()
+            .map(|t| {
+                let dest = hash_to_bucket(self.seed, t.values(), p);
+                Routed::new(EDGE_TAG, t.clone(), vec![dest])
+            })
+            .collect())
+    }
+
+    fn compute(
+        &self,
+        round: usize,
+        _server: usize,
+        state: &ServerState,
+    ) -> mpc_sim::Result<Vec<Relation>> {
+        if round != 1 {
+            return Ok(Vec::new());
+        }
+        let Some(edges) = state.relation(EDGE_TAG) else {
+            return Ok(Vec::new());
+        };
+        let mut forest = Relation::empty(FOREST_TAG, 2);
+        for (u, v) in spanning_forest(edges) {
+            forest
+                .insert(Tuple(vec![u, v]))
+                .map_err(|e| mpc_sim::SimError::Storage(e.to_string()))?;
+        }
+        Ok(vec![forest])
+    }
+
+    fn route_tuples(
+        &self,
+        round: usize,
+        _server: usize,
+        state: &ServerState,
+    ) -> mpc_sim::Result<Vec<Routed>> {
+        if round != 2 {
+            return Ok(Vec::new());
+        }
+        let Some(forest) = state.relation(FOREST_TAG) else {
+            return Ok(Vec::new());
+        };
+        Ok(forest.iter().map(|t| Routed::new(FOREST_TAG, t.clone(), vec![0])).collect())
+    }
+
+    fn output(&self, server: usize, state: &ServerState) -> mpc_sim::Result<Relation> {
+        let mut out = Relation::empty("components", 2);
+        if server != 0 {
+            return Ok(out);
+        }
+        let Some(forest) = state.relation(FOREST_TAG) else {
+            return Ok(out);
+        };
+        let labels = components_of(forest.iter().map(|t| (t.values()[0], t.values()[1])));
+        for (v, l) in labels {
+            out.insert(Tuple(vec![v, l])).map_err(|e| mpc_sim::SimError::Storage(e.to_string()))?;
+        }
+        Ok(out)
+    }
+
+    fn output_name(&self) -> String {
+        "components".to_string()
+    }
+
+    fn output_arity(&self) -> usize {
+        2
+    }
+}
+
+/// Outcome of the dense two-round algorithm.
+#[derive(Debug, Clone)]
+pub struct DenseCcOutcome {
+    /// Simulator result (2 rounds).
+    pub result: RunResult,
+    /// Whether the output partition matches the true components.
+    pub correct: bool,
+    /// Whether every round stayed within the configured budget (true for
+    /// dense inputs, typically false for sparse ones).
+    pub within_budget: bool,
+}
+
+/// Run the dense two-round connected-components algorithm.
+///
+/// # Errors
+///
+/// Propagates configuration and simulation errors.
+pub fn run_dense_cc(
+    edges: &Relation,
+    num_vertices: u64,
+    p: usize,
+    epsilon: f64,
+    seed: u64,
+) -> Result<DenseCcOutcome> {
+    let mut db = Database::new(num_vertices);
+    db.insert_relation(edges.clone());
+    let program = DenseTwoRoundCc::new(seed);
+    let cluster = Cluster::new(MpcConfig::new(p, epsilon))?;
+    let result = cluster.run(&program, &db)?;
+    let correct = partition_matches(&result.output, edges, num_vertices);
+    let within_budget = result.within_budget();
+    Ok(DenseCcOutcome { result, correct, within_budget })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_data::graphs::{dense_graph, LayeredGraph};
+
+    #[test]
+    fn dense_graph_two_rounds_correct_and_within_budget() {
+        let edges = dense_graph(100, 40, 3, "E");
+        let outcome = run_dense_cc(&edges, 100, 4, 0.0, 1).unwrap();
+        assert!(outcome.correct);
+        assert_eq!(outcome.result.num_rounds(), 2);
+        assert!(
+            outcome.within_budget,
+            "dense input should fit the ε = 0 budget (max load {} vs budget {})",
+            outcome.result.max_load_bytes(),
+            outcome.result.rounds[0].budget_bytes
+        );
+    }
+
+    #[test]
+    fn sparse_graph_is_correct_but_blows_the_budget() {
+        // The layered path graphs are sparse: collecting p spanning forests
+        // at one server exceeds c·N/p.
+        let g = LayeredGraph::generate(6, 50, 2);
+        let outcome = run_dense_cc(&g.edge_relation("E"), g.num_vertices(), 16, 0.0, 1).unwrap();
+        assert!(outcome.correct, "the algorithm is always correct");
+        assert!(!outcome.within_budget, "sparse input must exceed the ε = 0 budget");
+    }
+
+    #[test]
+    fn spanning_forest_has_at_most_v_minus_1_edges() {
+        let edges = dense_graph(50, 20, 5, "E");
+        let forest = spanning_forest(&edges);
+        assert!(forest.len() < 50);
+        // The forest preserves connectivity: same partition.
+        let forest_rel = Relation::from_tuples(
+            "F",
+            2,
+            forest.iter().map(|&(u, v)| [u, v]).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let full = components_of(edges.iter().map(|t| (t.values()[0], t.values()[1])));
+        let reduced = components_of(forest_rel.iter().map(|t| (t.values()[0], t.values()[1])));
+        for (v, l) in &full {
+            for (w, m) in &full {
+                assert_eq!(l == m, reduced[v] == reduced[w]);
+            }
+        }
+    }
+
+    #[test]
+    fn components_of_handles_isolated_unions() {
+        let labels = components_of(vec![(1, 2), (3, 4), (2, 3)].into_iter());
+        assert_eq!(labels[&1], labels[&4]);
+        let labels = components_of(vec![(1, 2), (5, 6)].into_iter());
+        assert_ne!(labels[&1], labels[&5]);
+    }
+}

@@ -1,0 +1,34 @@
+//! Connected components and transitive closure on the MPC model — the
+//! application behind Theorem 4.10 of the paper.
+//!
+//! The paper shows that for any fixed `ε < 1`, no tuple-based MPC(ε)
+//! algorithm computes CONNECTED-COMPONENTS of *sparse* graphs in `o(log p)`
+//! rounds: the hard instances are layered path graphs whose components are
+//! exactly the answers of a long chain query `L_k` with `k ≈ p^δ`. In
+//! contrast, *dense* graphs admit O(1)-round algorithms (Karloff, Suri &
+//! Vassilvitskii), which is why the sparse lower bound is interesting.
+//!
+//! This crate provides both sides as executable [`mpc_sim::MpcProgram`]s:
+//!
+//! * [`cc::LabelPropagationCc`] — the classic tuple-based label-propagation
+//!   algorithm (min-label flooding), which needs `Θ(diameter)` rounds;
+//! * [`cc::rounds_to_convergence`] — a driver that reports how many rounds
+//!   it actually needs on a given graph;
+//! * [`dense::DenseTwoRoundCc`] — the 2-round spanning-forest algorithm
+//!   that works within budget on sufficiently dense graphs;
+//! * [`experiment`] — the Theorem 4.10 experiment: rounds needed vs. `p` on
+//!   layered path graphs, contrasted with the dense 2-round algorithm.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cc;
+pub mod dense;
+pub mod experiment;
+pub mod tc;
+
+pub use cc::{rounds_to_convergence, CcOutcome, LabelPropagationCc};
+pub use dense::DenseTwoRoundCc;
+
+/// Convenience result alias used across this crate.
+pub type Result<T> = std::result::Result<T, mpc_core::CoreError>;

@@ -1,0 +1,53 @@
+//! Error type for the LP layer.
+
+use std::fmt;
+
+/// Errors raised by rational arithmetic and the simplex solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpError {
+    /// A rational operation overflowed `i128`.
+    Overflow(&'static str),
+    /// Division by zero (or a rational with zero denominator).
+    DivisionByZero,
+    /// The LP is infeasible: no point satisfies all constraints.
+    Infeasible,
+    /// The LP is unbounded in the optimization direction.
+    Unbounded,
+    /// The LP was malformed (e.g. a constraint row of the wrong width).
+    Malformed(String),
+    /// A query-level LP construction failed (propagated from `mpc-cq`).
+    Query(String),
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Overflow(op) => write!(f, "rational overflow during {op}"),
+            LpError::DivisionByZero => write!(f, "division by zero"),
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+            LpError::Malformed(msg) => write!(f, "malformed linear program: {msg}"),
+            LpError::Query(msg) => write!(f, "query error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+impl From<mpc_cq::CqError> for LpError {
+    fn from(e: mpc_cq::CqError) -> Self {
+        LpError::Query(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(LpError::Infeasible.to_string().contains("infeasible"));
+        assert!(LpError::Unbounded.to_string().contains("unbounded"));
+        assert!(LpError::Overflow("mul").to_string().contains("mul"));
+    }
+}

@@ -1,0 +1,45 @@
+//! Exact linear programming for query hypergraphs.
+//!
+//! The MPC analysis of *Beame, Koutris & Suciu (PODS 2013)* is driven by the
+//! **fractional covering number** `τ*(q)` of the query hypergraph: the
+//! optimal value of the fractional vertex-cover LP (equivalently, by LP
+//! duality, of the fractional edge-packing LP — Figure 1 of the paper).
+//! The one-round space exponent is `ε*(q) = 1 − 1/τ*(q)` and the HyperCube
+//! share exponents are read off an optimal vertex cover.
+//!
+//! Because these quantities are *exact rationals* (e.g. `τ*(C₃) = 3/2`,
+//! share exponents `1/3`), this crate implements
+//!
+//! * [`Rational`]: exact rational arithmetic over `i128`,
+//! * [`simplex`]: a small dense two-phase primal simplex solver with
+//!   Bland's anti-cycling rule, and
+//! * [`cover`]: builders and solvers for the vertex-cover, edge-packing and
+//!   edge-cover LPs of a [`mpc_cq::Query`], plus duality/tightness checks.
+//!
+//! # Example
+//!
+//! ```
+//! use mpc_cq::families;
+//! use mpc_lp::cover::QueryLps;
+//! use mpc_lp::Rational;
+//!
+//! let c3 = families::cycle(3);
+//! let lps = QueryLps::solve(&c3).unwrap();
+//! assert_eq!(lps.covering_number(), Rational::new(3, 2));   // τ*(C3) = 3/2
+//! assert_eq!(lps.vertex_cover().total(), lps.edge_packing().total()); // LP duality
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cover;
+pub mod error;
+pub mod rational;
+pub mod simplex;
+
+pub use cover::QueryLps;
+pub use error::LpError;
+pub use rational::Rational;
+
+/// Convenience result alias used across this crate.
+pub type Result<T> = std::result::Result<T, LpError>;

@@ -1,0 +1,394 @@
+//! Exact rational arithmetic over `i128`.
+//!
+//! The fractional covering numbers, vertex covers and share exponents of
+//! the paper are small rationals (denominators bounded by the query size),
+//! so `i128` arithmetic with eager normalisation never overflows in
+//! practice; all operations are nevertheless checked and report
+//! [`LpError::Overflow`](crate::LpError::Overflow) instead of wrapping.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::LpError;
+use crate::Result;
+
+/// An exact rational number `num / den` with `den > 0` and
+/// `gcd(|num|, den) = 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+/// Greatest common divisor of two non-negative integers.
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.abs()
+}
+
+impl Rational {
+    /// The rational 0.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// The rational 1.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Construct `num / den`, normalising sign and common factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`. Use [`Rational::checked_new`] for a fallible
+    /// variant.
+    pub fn new(num: i128, den: i128) -> Rational {
+        Self::checked_new(num, den).expect("denominator must be non-zero")
+    }
+
+    /// Construct `num / den`, returning an error when `den == 0`.
+    pub fn checked_new(num: i128, den: i128) -> Result<Rational> {
+        if den == 0 {
+            return Err(LpError::DivisionByZero);
+        }
+        let sign = if den < 0 { -1 } else { 1 };
+        let (num, den) = (num * sign, den * sign);
+        let g = gcd(num, den);
+        if g == 0 {
+            return Ok(Rational::ZERO);
+        }
+        Ok(Rational { num: num / g, den: den / g })
+    }
+
+    /// The integer `n` as a rational.
+    pub fn from_int(n: i64) -> Rational {
+        Rational { num: n as i128, den: 1 }
+    }
+
+    /// Numerator (after normalisation; carries the sign).
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// Convert to `f64` (used only for reporting and plotting; all decisions
+    /// are made on exact values).
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// True if the value is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// True if the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num > 0
+    }
+
+    /// True if the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num < 0
+    }
+
+    /// True if the value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rational {
+        Rational { num: self.num.abs(), den: self.den }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::DivisionByZero`] if the value is zero.
+    pub fn recip(&self) -> Result<Rational> {
+        Rational::checked_new(self.den, self.num)
+    }
+
+    /// Checked addition.
+    pub fn checked_add(&self, other: &Rational) -> Result<Rational> {
+        let num = self
+            .num
+            .checked_mul(other.den)
+            .and_then(|a| other.num.checked_mul(self.den).and_then(|b| a.checked_add(b)))
+            .ok_or(LpError::Overflow("add"))?;
+        let den = self.den.checked_mul(other.den).ok_or(LpError::Overflow("add"))?;
+        Rational::checked_new(num, den)
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(&self, other: &Rational) -> Result<Rational> {
+        self.checked_add(&(-*other))
+    }
+
+    /// Checked multiplication.
+    pub fn checked_mul(&self, other: &Rational) -> Result<Rational> {
+        // Cross-reduce first to keep the intermediate products small.
+        let g1 = gcd(self.num, other.den).max(1);
+        let g2 = gcd(other.num, self.den).max(1);
+        let num = (self.num / g1)
+            .checked_mul(other.num / g2)
+            .ok_or(LpError::Overflow("mul"))?;
+        let den = (self.den / g2)
+            .checked_mul(other.den / g1)
+            .ok_or(LpError::Overflow("mul"))?;
+        Rational::checked_new(num, den)
+    }
+
+    /// Checked division.
+    pub fn checked_div(&self, other: &Rational) -> Result<Rational> {
+        self.checked_mul(&other.recip()?)
+    }
+
+    /// The smaller of two rationals.
+    pub fn min(self, other: Rational) -> Rational {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of two rationals.
+    pub fn max(self, other: Rational) -> Rational {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Ceiling of the rational as an integer.
+    pub fn ceil(&self) -> i128 {
+        if self.num >= 0 {
+            (self.num + self.den - 1) / self.den
+        } else {
+            self.num / self.den
+        }
+    }
+
+    /// Floor of the rational as an integer.
+    pub fn floor(&self) -> i128 {
+        if self.num >= 0 {
+            self.num / self.den
+        } else {
+            -((-self.num + self.den - 1) / self.den)
+        }
+    }
+
+    /// Sum an iterator of rationals.
+    ///
+    /// # Errors
+    ///
+    /// Propagates overflow errors.
+    pub fn sum<'a, I: IntoIterator<Item = &'a Rational>>(iter: I) -> Result<Rational> {
+        let mut acc = Rational::ZERO;
+        for r in iter {
+            acc = acc.checked_add(r)?;
+        }
+        Ok(acc)
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b ? c/d  <=>  a*d ? c*b   (b, d > 0). Values stay small enough
+        // for i128 in this crate's workloads.
+        (self.num * other.den).cmp(&(other.num * self.den))
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational { num: -self.num, den: self.den }
+    }
+}
+
+// The panicking operators are provided for ergonomic use inside the solver,
+// where magnitudes are tiny; the checked methods are used at API boundaries.
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        self.checked_add(&rhs).expect("rational addition overflow")
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        self.checked_sub(&rhs).expect("rational subtraction overflow")
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        self.checked_mul(&rhs).expect("rational multiplication overflow")
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Rational) -> Rational {
+        self.checked_div(&rhs).expect("rational division error")
+    }
+}
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Rational {
+    fn sub_assign(&mut self, rhs: Rational) {
+        *self = *self - rhs;
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(n: i64) -> Self {
+        Rational::from_int(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalisation() {
+        assert_eq!(Rational::new(2, 4), Rational::new(1, 2));
+        assert_eq!(Rational::new(-2, -4), Rational::new(1, 2));
+        assert_eq!(Rational::new(2, -4), Rational::new(-1, 2));
+        assert_eq!(Rational::new(0, 5), Rational::ZERO);
+        assert_eq!(Rational::new(7, 1).denom(), 1);
+    }
+
+    #[test]
+    fn zero_denominator_is_error() {
+        assert_eq!(Rational::checked_new(1, 0), Err(LpError::DivisionByZero));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rational::new(1, 2);
+        let b = Rational::new(1, 3);
+        assert_eq!(a + b, Rational::new(5, 6));
+        assert_eq!(a - b, Rational::new(1, 6));
+        assert_eq!(a * b, Rational::new(1, 6));
+        assert_eq!(a / b, Rational::new(3, 2));
+        assert_eq!(-a, Rational::new(-1, 2));
+        assert_eq!(a.abs(), a);
+        assert_eq!((-a).abs(), a);
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(Rational::new(1, 3) < Rational::new(1, 2));
+        assert!(Rational::new(-1, 2) < Rational::ZERO);
+        assert!(Rational::new(3, 2) > Rational::ONE);
+        assert_eq!(Rational::new(2, 6).cmp(&Rational::new(1, 3)), Ordering::Equal);
+        assert_eq!(Rational::new(1, 2).min(Rational::new(2, 3)), Rational::new(1, 2));
+        assert_eq!(Rational::new(1, 2).max(Rational::new(2, 3)), Rational::new(2, 3));
+    }
+
+    #[test]
+    fn floor_and_ceil() {
+        assert_eq!(Rational::new(7, 2).ceil(), 4);
+        assert_eq!(Rational::new(7, 2).floor(), 3);
+        assert_eq!(Rational::new(-7, 2).ceil(), -3);
+        assert_eq!(Rational::new(-7, 2).floor(), -4);
+        assert_eq!(Rational::new(4, 2).ceil(), 2);
+        assert_eq!(Rational::new(4, 2).floor(), 2);
+    }
+
+    #[test]
+    fn reciprocal() {
+        assert_eq!(Rational::new(3, 4).recip().unwrap(), Rational::new(4, 3));
+        assert_eq!(Rational::new(-3, 4).recip().unwrap(), Rational::new(-4, 3));
+        assert!(Rational::ZERO.recip().is_err());
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Rational::ZERO.is_zero());
+        assert!(Rational::new(1, 7).is_positive());
+        assert!(Rational::new(-1, 7).is_negative());
+        assert!(Rational::from_int(5).is_integer());
+        assert!(!Rational::new(5, 2).is_integer());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rational::new(3, 2).to_string(), "3/2");
+        assert_eq!(Rational::from_int(-4).to_string(), "-4");
+        assert_eq!(Rational::ZERO.to_string(), "0");
+    }
+
+    #[test]
+    fn to_f64() {
+        assert!((Rational::new(1, 3).to_f64() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summation() {
+        let xs = vec![Rational::new(1, 2), Rational::new(1, 3), Rational::new(1, 6)];
+        assert_eq!(Rational::sum(xs.iter()).unwrap(), Rational::ONE);
+        let empty: Vec<Rational> = vec![];
+        assert_eq!(Rational::sum(empty.iter()).unwrap(), Rational::ZERO);
+    }
+
+    #[test]
+    fn overflow_detected() {
+        let big = Rational::new(i128::MAX / 2, 1);
+        assert!(big.checked_mul(&Rational::from_int(4)).is_err());
+        let max = Rational::new(i128::MAX, 1);
+        assert!(max.checked_add(&max).is_err());
+    }
+
+    #[test]
+    fn assign_operators() {
+        let mut x = Rational::new(1, 4);
+        x += Rational::new(1, 4);
+        assert_eq!(x, Rational::new(1, 2));
+        x -= Rational::new(1, 2);
+        assert!(x.is_zero());
+    }
+}

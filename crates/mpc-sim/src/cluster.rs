@@ -1,0 +1,399 @@
+//! The round-synchronous execution loop.
+
+use rayon::prelude::*;
+
+use mpc_storage::{Database, Relation};
+
+use crate::config::MpcConfig;
+use crate::error::SimError;
+use crate::message::Routed;
+use crate::program::MpcProgram;
+use crate::server::ServerState;
+use crate::stats::{RoundStats, RunResult};
+use crate::Result;
+
+/// A simulated MPC cluster of `p` workers.
+///
+/// The cluster owns no data; [`Cluster::run`] takes the input database (the
+/// union of the input servers' contents) and an [`MpcProgram`] and executes
+/// it round by round, recording per-round communication statistics.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    config: MpcConfig,
+}
+
+impl Cluster {
+    /// Create a cluster with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the configuration is invalid.
+    pub fn new(config: MpcConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Cluster { config })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MpcConfig {
+        &self.config
+    }
+
+    /// Execute a program on the given input database.
+    ///
+    /// # Errors
+    ///
+    /// Propagates program errors, reports out-of-range destinations, and —
+    /// if the configuration requests hard budgets — returns
+    /// [`SimError::Overload`] when a server receives more than
+    /// `c · N / p^{1−ε}` bytes in a round.
+    pub fn run<P: MpcProgram>(&self, program: &P, db: &Database) -> Result<RunResult> {
+        let p = self.config.p;
+        let input_bytes = db.total_bytes();
+        let budget_bytes = self.config.budget_bytes(input_bytes);
+        let total_rounds = program.num_rounds();
+        if total_rounds == 0 {
+            return Err(SimError::Program("program declares zero rounds".to_string()));
+        }
+
+        let mut servers: Vec<ServerState> =
+            (0..p).map(|i| ServerState::new(i, db.domain_size())).collect();
+        let mut rounds = Vec::with_capacity(total_rounds);
+
+        for round in 1..=total_rounds {
+            // -- Communication ------------------------------------------------
+            let routed: Vec<Routed> = if round == 1 {
+                // Input servers route their base tuples (Section 2.4). One
+                // logical input server per relation.
+                let mut msgs = Vec::new();
+                for rel in db.relations() {
+                    msgs.extend(program.route_input(rel, p)?);
+                }
+                msgs
+            } else {
+                // Workers send join tuples (tuple-based model, Section 4.1).
+                let per_server: Vec<Result<Vec<Routed>>> = servers
+                    .par_iter()
+                    .map(|s| program.route_tuples(round, s.id(), s))
+                    .collect();
+                let mut msgs = Vec::new();
+                for r in per_server {
+                    msgs.extend(r?);
+                }
+                msgs
+            };
+
+            // -- Delivery ------------------------------------------------------
+            for msg in &routed {
+                for &dest in &msg.destinations {
+                    if dest >= p {
+                        return Err(SimError::Program(format!(
+                            "destination {dest} out of range for p = {p}"
+                        )));
+                    }
+                    servers[dest].receive(round, &msg.tag, msg.tuple.clone());
+                }
+            }
+
+            // -- Accounting ----------------------------------------------------
+            let stats = self.round_stats(round, &servers, input_bytes, budget_bytes);
+            if stats.exceeds_budget && self.config.fail_on_overload {
+                let (server, received_bytes) = servers
+                    .iter()
+                    .map(|s| (s.id(), s.bytes_received_in_round(round)))
+                    .max_by_key(|(_, b)| *b)
+                    .expect("p >= 1");
+                return Err(SimError::Overload { round, server, received_bytes, budget_bytes });
+            }
+            rounds.push(stats);
+
+            // -- Local computation --------------------------------------------
+            let computed: Vec<Result<Vec<Relation>>> = servers
+                .par_iter()
+                .map(|s| program.compute(round, s.id(), s))
+                .collect();
+            for (server, result) in servers.iter_mut().zip(computed) {
+                for rel in result? {
+                    server.add_local(rel);
+                }
+            }
+        }
+
+        // -- Output ------------------------------------------------------------
+        let outputs: Vec<Result<Relation>> =
+            servers.par_iter().map(|s| program.output(s.id(), s)).collect();
+        let mut output = Relation::empty(program.output_name(), program.output_arity());
+        let mut per_server_output = Vec::with_capacity(p);
+        for result in outputs {
+            let rel = result?;
+            per_server_output.push(rel.len());
+            if rel.arity() != output.arity() && !rel.is_empty() {
+                return Err(SimError::Program(format!(
+                    "server produced output of arity {} but the program declares arity {}",
+                    rel.arity(),
+                    output.arity()
+                )));
+            }
+            for t in rel.iter() {
+                output.insert(t.clone()).map_err(|e| SimError::Storage(e.to_string()))?;
+            }
+        }
+
+        Ok(RunResult { output, rounds, per_server_output, input_bytes })
+    }
+
+    fn round_stats(
+        &self,
+        round: usize,
+        servers: &[ServerState],
+        input_bytes: u64,
+        budget_bytes: u64,
+    ) -> RoundStats {
+        let per_server: Vec<u64> =
+            servers.iter().map(|s| s.bytes_received_in_round(round)).collect();
+        let per_server_tuples: Vec<u64> =
+            servers.iter().map(|s| s.tuples_received_in_round(round)).collect();
+        let max_bytes_received = per_server.iter().copied().max().unwrap_or(0);
+        let total_bytes_received: u64 = per_server.iter().sum();
+        let max_tuples_received = per_server_tuples.iter().copied().max().unwrap_or(0);
+        let total_tuples_received: u64 = per_server_tuples.iter().sum();
+        let mean = total_bytes_received as f64 / servers.len().max(1) as f64;
+        RoundStats {
+            round,
+            max_bytes_received,
+            total_bytes_received,
+            max_tuples_received,
+            total_tuples_received,
+            budget_bytes,
+            exceeds_budget: max_bytes_received > budget_bytes,
+            replication_rate: if input_bytes == 0 {
+                0.0
+            } else {
+                total_bytes_received as f64 / input_bytes as f64
+            },
+            balance_ratio: if mean == 0.0 { 1.0 } else { max_bytes_received as f64 / mean },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{hash_value, route_relation, BroadcastProgram};
+    use mpc_cq::families;
+    use mpc_data::matching_database;
+    use mpc_storage::join::evaluate;
+    use mpc_storage::Tuple;
+
+    /// A one-round shuffle join for L2 = S1(x0,x1), S2(x1,x2): hash both
+    /// relations on the join variable x1 (the classic parallel hash join,
+    /// space exponent 0).
+    struct HashJoinL2 {
+        seed: u64,
+    }
+
+    impl MpcProgram for HashJoinL2 {
+        fn num_rounds(&self) -> usize {
+            1
+        }
+
+        fn route_input(&self, relation: &Relation, p: usize) -> Result<Vec<Routed>> {
+            let position = match relation.name() {
+                "S1" => 1, // x1 is the second column of S1
+                "S2" => 0, // x1 is the first column of S2
+                other => {
+                    return Err(SimError::Program(format!("unexpected relation {other}")))
+                }
+            };
+            Ok(route_relation(relation, |t| {
+                vec![hash_value(self.seed, t.values()[position], p)]
+            }))
+        }
+
+        fn compute(&self, _round: usize, _server: usize, _state: &ServerState) -> Result<Vec<Relation>> {
+            Ok(Vec::new())
+        }
+
+        fn output(&self, _server: usize, state: &ServerState) -> Result<Relation> {
+            let db = state.as_database();
+            if db.num_relations() < 2 {
+                return Ok(Relation::empty("L2", 3));
+            }
+            Ok(evaluate(&families::chain(2), &db)?)
+        }
+
+        fn output_name(&self) -> String {
+            "L2".to_string()
+        }
+
+        fn output_arity(&self) -> usize {
+            3
+        }
+    }
+
+    #[test]
+    fn broadcast_program_matches_sequential_join() {
+        let q = families::cycle(3);
+        let db = matching_database(&q, 60, 1);
+        let cluster = Cluster::new(MpcConfig::new(4, 1.0)).unwrap();
+        let result = cluster.run(&BroadcastProgram::new(q.clone()), &db).unwrap();
+        let expected = evaluate(&q, &db).unwrap();
+        assert!(result.output.same_tuples(&expected));
+        // Broadcast replicates the input p times.
+        assert!((result.rounds[0].replication_rate - 4.0).abs() < 1e-9);
+        assert_eq!(result.num_rounds(), 1);
+    }
+
+    #[test]
+    fn hash_join_matches_sequential_join_and_balances_load() {
+        let q = families::chain(2);
+        let db = matching_database(&q, 400, 7);
+        let cluster = Cluster::new(MpcConfig::new(8, 0.0)).unwrap();
+        let result = cluster.run(&HashJoinL2 { seed: 3 }, &db).unwrap();
+        let expected = evaluate(&q, &db).unwrap();
+        assert!(result.output.same_tuples(&expected));
+        assert_eq!(expected.len(), 400);
+        // No replication: every tuple goes to exactly one server.
+        assert!((result.rounds[0].replication_rate - 1.0).abs() < 1e-9);
+        // Matching data hash-partitions evenly: within the default budget.
+        assert!(result.within_budget());
+        // Load should be far below the whole input.
+        assert!(result.max_load_bytes() < db.total_bytes() / 4);
+    }
+
+    #[test]
+    fn hard_budget_overload_is_reported() {
+        let q = families::chain(2);
+        let db = matching_database(&q, 200, 2);
+        // Broadcasting to 8 servers with ε = 0 must blow the budget.
+        let cluster = Cluster::new(MpcConfig::new(8, 0.0).with_hard_budget()).unwrap();
+        let err = cluster.run(&BroadcastProgram::new(q.clone()), &db).unwrap_err();
+        assert!(matches!(err, SimError::Overload { round: 1, .. }));
+        // The same program with soft budgets records the violation instead.
+        let soft = Cluster::new(MpcConfig::new(8, 0.0)).unwrap();
+        let result = soft.run(&BroadcastProgram::new(q), &db).unwrap();
+        assert!(!result.within_budget());
+    }
+
+    #[test]
+    fn out_of_range_destination_is_an_error() {
+        struct Bad;
+        impl MpcProgram for Bad {
+            fn num_rounds(&self) -> usize {
+                1
+            }
+            fn route_input(&self, relation: &Relation, p: usize) -> Result<Vec<Routed>> {
+                Ok(relation.iter().map(|t| Routed::new("R", t.clone(), vec![p + 3])).collect())
+            }
+            fn compute(&self, _: usize, _: usize, _: &ServerState) -> Result<Vec<Relation>> {
+                Ok(Vec::new())
+            }
+            fn output(&self, _: usize, _: &ServerState) -> Result<Relation> {
+                Ok(Relation::empty("out", 1))
+            }
+            fn output_arity(&self) -> usize {
+                1
+            }
+        }
+        let mut db = Database::new(5);
+        db.insert_relation(Relation::from_tuples("R", 1, vec![[1u64]]).unwrap());
+        let cluster = Cluster::new(MpcConfig::new(2, 0.0)).unwrap();
+        let err = cluster.run(&Bad, &db).unwrap_err();
+        assert!(matches!(err, SimError::Program(_)));
+    }
+
+    #[test]
+    fn zero_round_program_is_rejected() {
+        struct Zero;
+        impl MpcProgram for Zero {
+            fn num_rounds(&self) -> usize {
+                0
+            }
+            fn route_input(&self, _: &Relation, _: usize) -> Result<Vec<Routed>> {
+                Ok(Vec::new())
+            }
+            fn compute(&self, _: usize, _: usize, _: &ServerState) -> Result<Vec<Relation>> {
+                Ok(Vec::new())
+            }
+            fn output(&self, _: usize, _: &ServerState) -> Result<Relation> {
+                Ok(Relation::empty("out", 1))
+            }
+            fn output_arity(&self) -> usize {
+                1
+            }
+        }
+        let db = Database::new(5);
+        let cluster = Cluster::new(MpcConfig::new(2, 0.0)).unwrap();
+        assert!(matches!(cluster.run(&Zero, &db), Err(SimError::Program(_))));
+    }
+
+    #[test]
+    fn per_server_output_counts_are_recorded() {
+        let q = families::chain(2);
+        let db = matching_database(&q, 100, 9);
+        let cluster = Cluster::new(MpcConfig::new(5, 0.0)).unwrap();
+        let result = cluster.run(&HashJoinL2 { seed: 1 }, &db).unwrap();
+        assert_eq!(result.per_server_output.len(), 5);
+        let total: usize = result.per_server_output.iter().sum();
+        // Hash partitioning assigns each answer to exactly one server.
+        assert_eq!(total, result.output.len());
+    }
+
+    #[test]
+    fn two_round_program_round_trips_tuples() {
+        /// Round 1: send everything to server 0. Round 2: server 0 forwards
+        /// every tuple of S1 to server 1, tagged "Fwd". Output: server 1
+        /// reports the forwarded tuples.
+        struct TwoRound;
+        impl MpcProgram for TwoRound {
+            fn num_rounds(&self) -> usize {
+                2
+            }
+            fn route_input(&self, relation: &Relation, _p: usize) -> Result<Vec<Routed>> {
+                Ok(route_relation(relation, |_| vec![0]))
+            }
+            fn compute(&self, _: usize, _: usize, _: &ServerState) -> Result<Vec<Relation>> {
+                Ok(Vec::new())
+            }
+            fn route_tuples(
+                &self,
+                round: usize,
+                server: usize,
+                state: &ServerState,
+            ) -> Result<Vec<Routed>> {
+                if round == 2 && server == 0 {
+                    if let Some(rel) = state.relation("S1") {
+                        return Ok(rel
+                            .iter()
+                            .map(|t| Routed::new("Fwd", t.clone(), vec![1]))
+                            .collect());
+                    }
+                }
+                Ok(Vec::new())
+            }
+            fn output(&self, server: usize, state: &ServerState) -> Result<Relation> {
+                if server == 1 {
+                    if let Some(rel) = state.relation("Fwd") {
+                        return Ok(rel.with_name("Fwd"));
+                    }
+                }
+                Ok(Relation::empty("Fwd", 2))
+            }
+            fn output_name(&self) -> String {
+                "Fwd".to_string()
+            }
+            fn output_arity(&self) -> usize {
+                2
+            }
+        }
+
+        let mut db = Database::new(10);
+        db.insert_relation(Relation::from_tuples("S1", 2, vec![[1u64, 2], [3, 4]]).unwrap());
+        let cluster = Cluster::new(MpcConfig::new(2, 1.0)).unwrap();
+        let result = cluster.run(&TwoRound, &db).unwrap();
+        assert_eq!(result.num_rounds(), 2);
+        assert_eq!(result.output.len(), 2);
+        assert!(result.output.contains(&Tuple::from([1, 2])));
+        // Round-2 traffic was received by server 1 only.
+        assert_eq!(result.rounds[1].total_tuples_received, 2);
+    }
+}

@@ -1,0 +1,49 @@
+//! A round-synchronous simulator of the **Massively Parallel Communication
+//! (MPC) model** of Beame, Koutris & Suciu (PODS 2013, Section 2.1).
+//!
+//! The model: `p` servers connected by private channels compute a query in
+//! synchronous rounds. In each round every server first receives data, then
+//! performs unbounded local computation. The only resource that is bounded
+//! is **communication**: each server may receive at most `O(N / p^{1−ε})`
+//! bits per round, where `N` is the input size and `ε ∈ [0, 1]` is the
+//! *space exponent* (the replication rate per round is then `O(p^ε)`).
+//!
+//! This crate does not measure wall-clock time; it measures exactly the
+//! quantities the theory speaks about:
+//!
+//! * per-server, per-round received bytes/tuples (maximum and total),
+//! * the replication rate of each round,
+//! * the number of rounds,
+//! * whether the configured load budget `c · N / p^{1−ε}` was respected.
+//!
+//! Programs are expressed against the [`MpcProgram`] trait: round 1 routes
+//! base tuples from the input servers (one per relation, Section 2.4);
+//! later rounds may only send *join tuples* whose destinations depend on
+//! the tuple itself — the **tuple-based MPC model** of Section 4.1 — which
+//! is the class of algorithms covered by the paper's multi-round lower
+//! bounds and exactly what a multi-round MapReduce job can do.
+//!
+//! The per-server local computation (hash joins) is executed with rayon
+//! across simulated servers, purely as an implementation detail.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod config;
+pub mod error;
+pub mod message;
+pub mod program;
+pub mod server;
+pub mod stats;
+
+pub use cluster::Cluster;
+pub use config::MpcConfig;
+pub use error::SimError;
+pub use message::Routed;
+pub use program::MpcProgram;
+pub use server::ServerState;
+pub use stats::{RoundStats, RunResult};
+
+/// Convenience result alias used across this crate.
+pub type Result<T> = std::result::Result<T, SimError>;

@@ -1,0 +1,65 @@
+//! Messages exchanged between servers.
+
+use serde::Serialize;
+
+use mpc_storage::Tuple;
+
+/// A routed tuple: one tuple, tagged with the (base or intermediate)
+/// relation it belongs to, together with the set of destination servers.
+///
+/// Round 1 messages carry base tuples from the input servers (Section 2.4);
+/// rounds ≥ 2 of the tuple-based model carry *join tuples* — tuples of a
+/// connected subquery of the query being computed — and their destinations
+/// may depend only on the tag, the tuple and the round (Section 4.1).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Routed {
+    /// Name of the (base or intermediate) relation this tuple belongs to.
+    pub tag: String,
+    /// The tuple payload.
+    pub tuple: Tuple,
+    /// Destination servers (indices in `0..p`). Duplicates are allowed but
+    /// pointless; an empty list drops the tuple.
+    pub destinations: Vec<usize>,
+}
+
+impl Routed {
+    /// Create a routed tuple.
+    pub fn new<S: Into<String>>(tag: S, tuple: Tuple, destinations: Vec<usize>) -> Self {
+        Routed { tag: tag.into(), tuple, destinations }
+    }
+
+    /// Broadcast a tuple to every server in `0..p`.
+    pub fn broadcast<S: Into<String>>(tag: S, tuple: Tuple, p: usize) -> Self {
+        Routed { tag: tag.into(), tuple, destinations: (0..p).collect() }
+    }
+
+    /// Size in bytes of a single delivery of this tuple (8 bytes per value).
+    pub fn bytes_per_delivery(&self) -> u64 {
+        (self.tuple.arity() as u64) * 8
+    }
+
+    /// The replication of this tuple: how many servers receive it.
+    pub fn replication(&self) -> usize {
+        self.destinations.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accounting() {
+        let r = Routed::new("S1", Tuple::from([1, 2, 3]), vec![0, 4]);
+        assert_eq!(r.bytes_per_delivery(), 24);
+        assert_eq!(r.replication(), 2);
+        assert_eq!(r.tag, "S1");
+    }
+
+    #[test]
+    fn broadcast_targets_every_server() {
+        let r = Routed::broadcast("S", Tuple::from([7]), 5);
+        assert_eq!(r.destinations, vec![0, 1, 2, 3, 4]);
+        assert_eq!(r.replication(), 5);
+    }
+}

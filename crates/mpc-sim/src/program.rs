@@ -1,0 +1,207 @@
+//! The [`MpcProgram`] trait: how algorithms are expressed against the
+//! simulator.
+//!
+//! The execution model mirrors Sections 2.1, 2.4 and 4.1 of the paper:
+//!
+//! 1. **Round 1** — every input relation lives on its own *input server*,
+//!    which sends each of its tuples to a set of workers
+//!    ([`MpcProgram::route_input`]). This round is unrestricted in the
+//!    model; the programs in this repository route by hashing.
+//! 2. After every round's delivery, each worker runs unbounded local
+//!    computation ([`MpcProgram::compute`]), deriving new local relations
+//!    (join tuples) at no communication cost.
+//! 3. **Rounds ≥ 2** — each worker sends *join tuples* it knows to other
+//!    workers ([`MpcProgram::route_tuples`]). The tuple-based MPC model
+//!    requires the destinations to depend only on the tuple itself (its
+//!    tag and values), the round and the sending server — never on other
+//!    data the server holds. Implementations must respect this; the
+//!    canonical way is to route through a pure function
+//!    `(tag, tuple, round) → destinations`.
+//! 4. After the final round each worker reports its share of the output
+//!    ([`MpcProgram::output`]); the cluster unions the shares.
+
+use mpc_storage::{Relation, Tuple};
+
+use crate::message::Routed;
+use crate::server::ServerState;
+use crate::Result;
+
+/// An algorithm in the (tuple-based) MPC model.
+///
+/// Implementations must be `Sync` because per-server calls are executed in
+/// parallel across simulated servers.
+pub trait MpcProgram: Sync {
+    /// Total number of communication rounds.
+    fn num_rounds(&self) -> usize;
+
+    /// Round-1 routing performed by the input server that stores
+    /// `relation`: return, for each tuple, the workers that receive it.
+    fn route_input(&self, relation: &Relation, p: usize) -> Result<Vec<Routed>>;
+
+    /// Local computation at the end of round `round` (1-based) on worker
+    /// `server`. Returns relations derived locally (added to the server's
+    /// knowledge at no communication cost).
+    fn compute(&self, round: usize, server: usize, state: &ServerState) -> Result<Vec<Relation>>;
+
+    /// Routing performed by worker `server` at the beginning of round
+    /// `round ≥ 2`: join tuples to send, with their destinations.
+    ///
+    /// Tuple-based restriction: destinations may depend only on the tag,
+    /// the tuple values, the round and the sender — not on anything else in
+    /// `state`. The default implementation sends nothing.
+    fn route_tuples(
+        &self,
+        round: usize,
+        server: usize,
+        state: &ServerState,
+    ) -> Result<Vec<Routed>> {
+        let _ = (round, server, state);
+        Ok(Vec::new())
+    }
+
+    /// The output tuples this worker reports after the final round.
+    fn output(&self, server: usize, state: &ServerState) -> Result<Relation>;
+
+    /// Name of the output relation (used for the unioned result).
+    fn output_name(&self) -> String {
+        "output".to_string()
+    }
+
+    /// Arity of the output relation.
+    fn output_arity(&self) -> usize;
+}
+
+/// A helper for hash-based routing: a deterministic hash of a tuple
+/// restricted to selected positions, mapped into `0..buckets`.
+///
+/// This is the "random hash function" `h_i : [n] → [p_i]` of the HyperCube
+/// algorithm; a seeded multiply-xor-shift hash is used so runs are
+/// reproducible.
+pub fn hash_to_bucket(seed: u64, values: &[u64], buckets: usize) -> usize {
+    debug_assert!(buckets > 0);
+    let mut h = seed ^ 0x9E37_79B9_7F4A_7C15;
+    for &v in values {
+        h ^= v.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = h.rotate_left(31).wrapping_mul(0x94D0_49BB_1331_11EB);
+    }
+    // Final avalanche.
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 33;
+    (h % buckets as u64) as usize
+}
+
+/// Convenience: hash a single value.
+pub fn hash_value(seed: u64, value: u64, buckets: usize) -> usize {
+    hash_to_bucket(seed, &[value], buckets)
+}
+
+/// A trivial broadcast program: send every relation to every worker, run a
+/// user-provided local evaluation on worker 0's knowledge. Used as the
+/// naive baseline and for testing the cluster mechanics.
+#[derive(Debug, Clone)]
+pub struct BroadcastProgram {
+    query: mpc_cq::Query,
+}
+
+impl BroadcastProgram {
+    /// Broadcast-and-evaluate for the given query.
+    pub fn new(query: mpc_cq::Query) -> Self {
+        BroadcastProgram { query }
+    }
+}
+
+impl MpcProgram for BroadcastProgram {
+    fn num_rounds(&self) -> usize {
+        1
+    }
+
+    fn route_input(&self, relation: &Relation, p: usize) -> Result<Vec<Routed>> {
+        Ok(relation
+            .iter()
+            .map(|t| Routed::broadcast(relation.name(), t.clone(), p))
+            .collect())
+    }
+
+    fn compute(&self, _round: usize, _server: usize, _state: &ServerState) -> Result<Vec<Relation>> {
+        Ok(Vec::new())
+    }
+
+    fn output(&self, server: usize, state: &ServerState) -> Result<Relation> {
+        // Every server has the whole input; only server 0 reports to avoid
+        // duplicating work in the union.
+        if server != 0 {
+            return Ok(Relation::empty(self.output_name(), self.output_arity()));
+        }
+        let db = state.as_database();
+        let out = mpc_storage::join::evaluate(&self.query, &db)?;
+        Ok(out)
+    }
+
+    fn output_name(&self) -> String {
+        self.query.name().to_string()
+    }
+
+    fn output_arity(&self) -> usize {
+        self.query.num_vars()
+    }
+}
+
+/// Route every tuple of a relation with a pure function — the shape all
+/// tuple-based programs use.
+pub fn route_relation<F>(relation: &Relation, mut f: F) -> Vec<Routed>
+where
+    F: FnMut(&Tuple) -> Vec<usize>,
+{
+    relation
+        .iter()
+        .map(|t| Routed::new(relation.name(), t.clone(), f(t)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashing_is_deterministic_and_in_range() {
+        for buckets in [1usize, 2, 7, 64] {
+            for v in 0..200u64 {
+                let b1 = hash_value(42, v, buckets);
+                let b2 = hash_value(42, v, buckets);
+                assert_eq!(b1, b2);
+                assert!(b1 < buckets);
+            }
+        }
+    }
+
+    #[test]
+    fn hashing_depends_on_seed() {
+        let a: Vec<usize> = (0..100).map(|v| hash_value(1, v, 16)).collect();
+        let b: Vec<usize> = (0..100).map(|v| hash_value(2, v, 16)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn hashing_is_roughly_uniform() {
+        let buckets = 8usize;
+        let mut counts = vec![0usize; buckets];
+        for v in 0..8000u64 {
+            counts[hash_value(7, v, buckets)] += 1;
+        }
+        let expected = 1000.0;
+        for c in counts {
+            assert!((c as f64 - expected).abs() < 250.0, "bucket count {c} far from {expected}");
+        }
+    }
+
+    #[test]
+    fn route_relation_applies_function() {
+        let rel = Relation::from_tuples("R", 2, vec![[1u64, 2], [3, 4]]).unwrap();
+        let routed = route_relation(&rel, |t| vec![t.values()[0] as usize % 2]);
+        assert_eq!(routed.len(), 2);
+        assert_eq!(routed[0].destinations, vec![1]);
+        assert_eq!(routed[1].destinations, vec![1]);
+        assert_eq!(routed[0].tag, "R");
+    }
+}

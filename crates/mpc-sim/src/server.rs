@@ -1,0 +1,161 @@
+//! Per-server state: everything a simulated worker knows.
+
+use std::collections::BTreeMap;
+
+use mpc_storage::{Database, Relation, Tuple};
+
+/// The accumulated knowledge of one worker server.
+///
+/// A server knows (a) every tuple it has received in any round, grouped by
+/// the tag (relation name) it was sent under, and (b) every relation it has
+/// derived locally via [`ServerState::add_local`]. The distinction matters
+/// only for accounting: received data is charged against the round's load
+/// budget, locally derived data is free (local computation is unbounded in
+/// the MPC model).
+#[derive(Debug, Clone)]
+pub struct ServerState {
+    id: usize,
+    domain_size: u64,
+    relations: BTreeMap<String, Relation>,
+    bytes_received: Vec<u64>,
+    tuples_received: Vec<u64>,
+}
+
+impl ServerState {
+    /// Create the empty state of server `id` for a database over `[n]`.
+    pub fn new(id: usize, domain_size: u64) -> Self {
+        ServerState {
+            id,
+            domain_size,
+            relations: BTreeMap::new(),
+            bytes_received: Vec::new(),
+            tuples_received: Vec::new(),
+        }
+    }
+
+    /// This server's index in `0..p`.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The domain size of the input database.
+    pub fn domain_size(&self) -> u64 {
+        self.domain_size
+    }
+
+    /// Record the delivery of a tuple under `tag` during `round` (1-based),
+    /// charging its size against that round.
+    pub fn receive(&mut self, round: usize, tag: &str, tuple: Tuple) {
+        while self.bytes_received.len() < round {
+            self.bytes_received.push(0);
+            self.tuples_received.push(0);
+        }
+        let bytes = (tuple.arity() as u64) * 8;
+        self.bytes_received[round - 1] += bytes;
+        self.tuples_received[round - 1] += 1;
+        let arity = tuple.arity();
+        self.relations
+            .entry(tag.to_string())
+            .or_insert_with(|| Relation::empty(tag, arity))
+            .insert(tuple)
+            .expect("tuples under the same tag have the same arity");
+    }
+
+    /// Add a locally derived relation (no communication cost). Tuples are
+    /// merged into any existing relation with the same name.
+    pub fn add_local(&mut self, rel: Relation) {
+        let entry = self
+            .relations
+            .entry(rel.name().to_string())
+            .or_insert_with(|| Relation::empty(rel.name(), rel.arity()));
+        for t in rel.iter() {
+            entry.insert(t.clone()).expect("matching arity under the same tag");
+        }
+    }
+
+    /// The relation known under `tag`, if any.
+    pub fn relation(&self, tag: &str) -> Option<&Relation> {
+        self.relations.get(tag)
+    }
+
+    /// All known tags.
+    pub fn tags(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(String::as_str)
+    }
+
+    /// Snapshot the server's knowledge as a [`Database`] (used to run the
+    /// local join engine on it).
+    pub fn as_database(&self) -> Database {
+        let mut db = Database::new(self.domain_size);
+        for rel in self.relations.values() {
+            db.insert_relation(rel.clone());
+        }
+        db
+    }
+
+    /// Bytes received in a given round (1-based); 0 if nothing was received.
+    pub fn bytes_received_in_round(&self, round: usize) -> u64 {
+        self.bytes_received.get(round - 1).copied().unwrap_or(0)
+    }
+
+    /// Tuples received in a given round (1-based).
+    pub fn tuples_received_in_round(&self, round: usize) -> u64 {
+        self.tuples_received.get(round - 1).copied().unwrap_or(0)
+    }
+
+    /// Total bytes received across all rounds.
+    pub fn total_bytes_received(&self) -> u64 {
+        self.bytes_received.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn receive_accumulates_and_accounts() {
+        let mut s = ServerState::new(3, 100);
+        s.receive(1, "R", Tuple::from([1, 2]));
+        s.receive(1, "R", Tuple::from([3, 4]));
+        s.receive(1, "R", Tuple::from([1, 2])); // duplicate tuple still costs bytes
+        s.receive(2, "V", Tuple::from([9]));
+        assert_eq!(s.relation("R").unwrap().len(), 2);
+        assert_eq!(s.relation("V").unwrap().len(), 1);
+        assert_eq!(s.bytes_received_in_round(1), 3 * 16);
+        assert_eq!(s.bytes_received_in_round(2), 8);
+        assert_eq!(s.tuples_received_in_round(1), 3);
+        assert_eq!(s.total_bytes_received(), 3 * 16 + 8);
+        assert_eq!(s.bytes_received_in_round(5), 0);
+    }
+
+    #[test]
+    fn add_local_is_free() {
+        let mut s = ServerState::new(0, 10);
+        let rel = Relation::from_tuples("View", 2, vec![[1u64, 2], [3, 4]]).unwrap();
+        s.add_local(rel);
+        assert_eq!(s.relation("View").unwrap().len(), 2);
+        assert_eq!(s.total_bytes_received(), 0);
+        // Merging with more local tuples under the same tag.
+        s.add_local(Relation::from_tuples("View", 2, vec![[5u64, 6]]).unwrap());
+        assert_eq!(s.relation("View").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn as_database_snapshot() {
+        let mut s = ServerState::new(0, 42);
+        s.receive(1, "R", Tuple::from([1, 2]));
+        let db = s.as_database();
+        assert_eq!(db.domain_size(), 42);
+        assert_eq!(db.relation("R").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn tags_listing() {
+        let mut s = ServerState::new(0, 10);
+        s.receive(1, "B", Tuple::from([1]));
+        s.receive(1, "A", Tuple::from([1]));
+        let tags: Vec<&str> = s.tags().collect();
+        assert_eq!(tags, vec!["A", "B"]);
+    }
+}

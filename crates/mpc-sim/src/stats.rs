@@ -1,0 +1,123 @@
+//! Communication statistics collected by the simulator.
+
+use serde::Serialize;
+
+use mpc_storage::Relation;
+
+/// Communication statistics of one round.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RoundStats {
+    /// Round number (1-based).
+    pub round: usize,
+    /// Maximum bytes received by any single server this round — the
+    /// quantity bounded by `c · N / p^{1−ε}` in the MPC model.
+    pub max_bytes_received: u64,
+    /// Total bytes received across all servers this round.
+    pub total_bytes_received: u64,
+    /// Maximum tuples received by any single server this round.
+    pub max_tuples_received: u64,
+    /// Total tuples received across all servers this round.
+    pub total_tuples_received: u64,
+    /// The configured per-server budget in bytes for this input.
+    pub budget_bytes: u64,
+    /// Whether some server exceeded the budget this round.
+    pub exceeds_budget: bool,
+    /// `total_bytes_received / input_bytes`: the replication rate of this
+    /// round (the model allows up to `load_factor · p^ε`).
+    pub replication_rate: f64,
+    /// Ratio of max to mean received bytes: 1.0 means perfectly balanced.
+    pub balance_ratio: f64,
+}
+
+/// The result of running an [`crate::MpcProgram`] on the simulator.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The union of all servers' outputs (deduplicated).
+    pub output: Relation,
+    /// Per-round communication statistics.
+    pub rounds: Vec<RoundStats>,
+    /// Number of output tuples produced by each server (before
+    /// deduplication across servers).
+    pub per_server_output: Vec<usize>,
+    /// Input size in bytes (the `N` used for the budget).
+    pub input_bytes: u64,
+}
+
+impl RunResult {
+    /// Number of communication rounds executed.
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// The maximum per-server load (bytes) over all rounds.
+    pub fn max_load_bytes(&self) -> u64 {
+        self.rounds.iter().map(|r| r.max_bytes_received).max().unwrap_or(0)
+    }
+
+    /// The maximum per-server load (tuples) over all rounds.
+    pub fn max_load_tuples(&self) -> u64 {
+        self.rounds.iter().map(|r| r.max_tuples_received).max().unwrap_or(0)
+    }
+
+    /// True if every round respected the budget.
+    pub fn within_budget(&self) -> bool {
+        self.rounds.iter().all(|r| !r.exceeds_budget)
+    }
+
+    /// The largest replication rate over all rounds.
+    pub fn max_replication_rate(&self) -> f64 {
+        self.rounds.iter().map(|r| r.replication_rate).fold(0.0, f64::max)
+    }
+
+    /// Total bytes shuffled over the whole execution.
+    pub fn total_bytes(&self) -> u64 {
+        self.rounds.iter().map(|r| r.total_bytes_received).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round(round: usize, max: u64, total: u64, budget: u64) -> RoundStats {
+        RoundStats {
+            round,
+            max_bytes_received: max,
+            total_bytes_received: total,
+            max_tuples_received: max / 16,
+            total_tuples_received: total / 16,
+            budget_bytes: budget,
+            exceeds_budget: max > budget,
+            replication_rate: total as f64 / 1000.0,
+            balance_ratio: 1.0,
+        }
+    }
+
+    #[test]
+    fn aggregations() {
+        let result = RunResult {
+            output: Relation::empty("q", 2),
+            rounds: vec![round(1, 100, 800, 128), round(2, 200, 600, 128)],
+            per_server_output: vec![1, 2, 3],
+            input_bytes: 1000,
+        };
+        assert_eq!(result.num_rounds(), 2);
+        assert_eq!(result.max_load_bytes(), 200);
+        assert!(!result.within_budget());
+        assert_eq!(result.total_bytes(), 1400);
+        assert!((result.max_replication_rate() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run() {
+        let result = RunResult {
+            output: Relation::empty("q", 1),
+            rounds: vec![],
+            per_server_output: vec![],
+            input_bytes: 0,
+        };
+        assert_eq!(result.max_load_bytes(), 0);
+        assert!(result.within_budget());
+        assert_eq!(result.max_replication_rate(), 0.0);
+    }
+}

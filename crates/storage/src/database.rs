@@ -1,0 +1,207 @@
+//! Database instances: a binding of relation symbols to instances.
+
+use std::collections::BTreeMap;
+
+use serde::Serialize;
+
+use mpc_cq::Query;
+
+use crate::error::StorageError;
+use crate::relation::{Relation, Tuple};
+use crate::Result;
+
+/// A database instance over a domain `[n] = {1, …, n}`.
+///
+/// Relations are keyed by their symbol; a query can be evaluated on the
+/// database as long as every atom's relation symbol is bound with the right
+/// arity ([`Database::validate_for`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Database {
+    domain_size: u64,
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Database {
+    /// Create an empty database over the domain `[n]`.
+    pub fn new(domain_size: u64) -> Self {
+        Database { domain_size, relations: BTreeMap::new() }
+    }
+
+    /// The domain size `n`.
+    pub fn domain_size(&self) -> u64 {
+        self.domain_size
+    }
+
+    /// Insert (or replace) a relation instance.
+    pub fn insert_relation(&mut self, relation: Relation) {
+        self.relations.insert(relation.name().to_string(), relation);
+    }
+
+    /// Retrieve a relation by symbol.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::MissingRelation`] if the symbol is unbound.
+    pub fn relation(&self, name: &str) -> Result<&Relation> {
+        self.relations.get(name).ok_or_else(|| StorageError::MissingRelation(name.to_string()))
+    }
+
+    /// Retrieve a relation mutably.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::MissingRelation`] if the symbol is unbound.
+    pub fn relation_mut(&mut self, name: &str) -> Result<&mut Relation> {
+        self.relations
+            .get_mut(name)
+            .ok_or_else(|| StorageError::MissingRelation(name.to_string()))
+    }
+
+    /// All relations, keyed by symbol.
+    pub fn relations(&self) -> impl Iterator<Item = &Relation> {
+        self.relations.values()
+    }
+
+    /// Number of relations.
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// The largest relation cardinality `n` (the paper's `n`); zero for an
+    /// empty database.
+    pub fn max_relation_size(&self) -> usize {
+        self.relations.values().map(Relation::len).max().unwrap_or(0)
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// Total size in bytes (8 bytes per value), the simulator's `N`.
+    pub fn total_bytes(&self) -> u64 {
+        self.relations.values().map(Relation::size_in_bytes).sum()
+    }
+
+    /// Total size in bits with `⌈log₂ n⌉` bits per value
+    /// (the paper's `N = O(n log n)`).
+    pub fn total_bits(&self) -> u64 {
+        self.relations.values().map(|r| r.size_in_bits(self.domain_size)).sum()
+    }
+
+    /// Check that every atom of `q` is bound to a relation of the correct
+    /// arity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::MissingRelation`] or
+    /// [`StorageError::ArityMismatch`] accordingly.
+    pub fn validate_for(&self, q: &Query) -> Result<()> {
+        for atom in q.atoms() {
+            let rel = self.relation(&atom.name)?;
+            if rel.arity() != atom.arity() {
+                return Err(StorageError::ArityMismatch {
+                    relation: atom.name.clone(),
+                    expected: atom.arity(),
+                    actual: rel.arity(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Restrict the database to the relations used by `q` (cloning them).
+    /// Handy when passing inputs to per-query programs.
+    pub fn project_to_query(&self, q: &Query) -> Result<Database> {
+        let mut db = Database::new(self.domain_size);
+        for atom in q.atoms() {
+            db.insert_relation(self.relation(&atom.name)?.clone());
+        }
+        Ok(db)
+    }
+
+    /// Build a database from `(name, arity, tuples)` triples.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tuple-arity errors.
+    pub fn from_relations<I>(domain_size: u64, relations: I) -> Result<Database>
+    where
+        I: IntoIterator<Item = (String, usize, Vec<Tuple>)>,
+    {
+        let mut db = Database::new(domain_size);
+        for (name, arity, tuples) in relations {
+            db.insert_relation(Relation::from_tuples(name, arity, tuples)?);
+        }
+        Ok(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_cq::families;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new(4);
+        db.insert_relation(
+            Relation::from_tuples("S1", 2, vec![[1u64, 2], [2, 3], [3, 4], [4, 1]]).unwrap(),
+        );
+        db.insert_relation(
+            Relation::from_tuples("S2", 2, vec![[1u64, 2], [2, 3], [3, 4], [4, 1]]).unwrap(),
+        );
+        db
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let db = sample_db();
+        assert_eq!(db.num_relations(), 2);
+        assert_eq!(db.relation("S1").unwrap().len(), 4);
+        assert!(db.relation("S9").is_err());
+        assert_eq!(db.domain_size(), 4);
+    }
+
+    #[test]
+    fn size_accounting() {
+        let db = sample_db();
+        assert_eq!(db.total_tuples(), 8);
+        assert_eq!(db.total_bytes(), 8 * 2 * 8);
+        assert_eq!(db.max_relation_size(), 4);
+        // 4-value domain → 3 bits per value (⌈log₂ 4⌉ rounded up via leading_zeros of 4 = 3 bits).
+        assert!(db.total_bits() > 0);
+    }
+
+    #[test]
+    fn validate_for_query() {
+        let db = sample_db();
+        let l2 = families::chain(2);
+        assert!(db.validate_for(&l2).is_ok());
+        let l3 = families::chain(3);
+        assert!(matches!(db.validate_for(&l3), Err(StorageError::MissingRelation(_))));
+
+        let mut bad = sample_db();
+        bad.insert_relation(Relation::from_tuples("S2", 3, vec![[1u64, 2, 3]]).unwrap());
+        assert!(matches!(bad.validate_for(&l2), Err(StorageError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn project_to_query_filters_relations() {
+        let mut db = sample_db();
+        db.insert_relation(Relation::from_tuples("Junk", 1, vec![[1u64]]).unwrap());
+        let l2 = families::chain(2);
+        let projected = db.project_to_query(&l2).unwrap();
+        assert_eq!(projected.num_relations(), 2);
+        assert!(projected.relation("Junk").is_err());
+    }
+
+    #[test]
+    fn from_relations_builder() {
+        let db = Database::from_relations(
+            3,
+            vec![("R".to_string(), 1, vec![Tuple::from([1u64]), Tuple::from([2])])],
+        )
+        .unwrap();
+        assert_eq!(db.relation("R").unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,300 @@
+//! Local (single-server) evaluation of full conjunctive queries.
+//!
+//! Servers in the MPC model are computationally unbounded; what matters is
+//! only the data they receive. This module provides the in-memory join used
+//! (a) inside every simulated server to compute its local output and
+//! (b) sequentially on the whole database as the ground truth against which
+//! the parallel algorithms are verified.
+//!
+//! The algorithm is a straightforward connected-order hash join: atoms are
+//! processed in an order in which each atom (after the first) shares at
+//! least one variable with the already-joined prefix whenever the query is
+//! connected; each step builds a hash index on the shared variables and
+//! extends the current partial assignments.
+
+use std::collections::HashMap;
+
+use mpc_cq::{Query, VarId};
+
+use crate::database::Database;
+use crate::relation::{Relation, Tuple, Value};
+use crate::Result;
+
+/// Evaluate the query on the database.
+///
+/// The output relation is named after the query and has one column per
+/// query variable, ordered by [`VarId`] (i.e. [`Query::var_names`] order).
+///
+/// # Errors
+///
+/// Returns an error if a relation is missing or has the wrong arity.
+pub fn evaluate(q: &Query, db: &Database) -> Result<Relation> {
+    db.validate_for(q)?;
+    let k = q.num_vars();
+    let order = join_order(q, db);
+
+    // Partial assignments: value per variable; `bound[v]` says which
+    // entries are meaningful. All partials share the same bound set.
+    let mut bound = vec![false; k];
+    let mut partials: Vec<Vec<Value>> = vec![vec![0; k]];
+
+    for atom_idx in order {
+        let atom = &q.atoms()[atom_idx];
+        let rel = db.relation(&atom.name)?;
+
+        // Positions of the atom grouped by variable (handles repeated
+        // variables within one atom, which arise after contraction).
+        let mut var_positions: Vec<(VarId, Vec<usize>)> = Vec::new();
+        for (pos, v) in atom.vars.iter().enumerate() {
+            match var_positions.iter_mut().find(|(w, _)| w == v) {
+                Some((_, ps)) => ps.push(pos),
+                None => var_positions.push((*v, vec![pos])),
+            }
+        }
+
+        let shared: Vec<(VarId, usize)> = var_positions
+            .iter()
+            .filter(|(v, _)| bound[v.0])
+            .map(|(v, ps)| (*v, ps[0]))
+            .collect();
+        let new_vars: Vec<(VarId, usize)> = var_positions
+            .iter()
+            .filter(|(v, _)| !bound[v.0])
+            .map(|(v, ps)| (*v, ps[0]))
+            .collect();
+
+        // Index the relation on the shared positions, keeping only tuples
+        // that are self-consistent on repeated variables.
+        let mut index: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::new();
+        'tuples: for t in rel.iter() {
+            for (_, positions) in &var_positions {
+                let first = t.values()[positions[0]];
+                for &p in &positions[1..] {
+                    if t.values()[p] != first {
+                        continue 'tuples;
+                    }
+                }
+            }
+            let key: Vec<Value> = shared.iter().map(|(_, pos)| t.values()[*pos]).collect();
+            index.entry(key).or_default().push(t);
+        }
+
+        let mut next: Vec<Vec<Value>> = Vec::new();
+        for partial in &partials {
+            let key: Vec<Value> = shared.iter().map(|(v, _)| partial[v.0]).collect();
+            if let Some(matches) = index.get(&key) {
+                for t in matches {
+                    let mut extended = partial.clone();
+                    for (v, pos) in &new_vars {
+                        extended[v.0] = t.values()[*pos];
+                    }
+                    next.push(extended);
+                }
+            }
+        }
+        partials = next;
+        for (v, _) in &new_vars {
+            bound[v.0] = true;
+        }
+        if partials.is_empty() {
+            break;
+        }
+    }
+
+    let mut out = Relation::empty(q.name(), k);
+    for p in partials {
+        out.insert(Tuple(p))?;
+    }
+    Ok(out)
+}
+
+/// Evaluate a connected subset of the query's atoms; the result has one
+/// column per variable of the induced subquery, in the *induced subquery's*
+/// variable order, and is named after the induced subquery.
+///
+/// # Errors
+///
+/// Propagates storage and query errors.
+pub fn evaluate_atoms(q: &Query, db: &Database, atoms: &[mpc_cq::AtomId]) -> Result<Relation> {
+    let sub = q.induced_subquery(atoms)?;
+    evaluate(&sub, db)
+}
+
+/// The output column names of [`evaluate`] for a query: its variable names
+/// in [`VarId`] order.
+pub fn output_columns(q: &Query) -> Vec<String> {
+    q.var_names().to_vec()
+}
+
+/// Choose a join order: start from the smallest relation and repeatedly add
+/// an atom sharing a variable with the already-chosen prefix (falling back
+/// to the smallest remaining atom when the query is disconnected).
+fn join_order(q: &Query, db: &Database) -> Vec<usize> {
+    let l = q.num_atoms();
+    let size_of = |i: usize| db.relation(&q.atoms()[i].name).map(Relation::len).unwrap_or(usize::MAX);
+
+    let mut remaining: Vec<usize> = (0..l).collect();
+    remaining.sort_by_key(|&i| (size_of(i), i));
+    let mut order = Vec::with_capacity(l);
+    let mut bound_vars: Vec<bool> = vec![false; q.num_vars()];
+
+    while !remaining.is_empty() {
+        // Prefer an atom that shares a bound variable; otherwise take the
+        // smallest remaining (start of a new component).
+        let pick_pos = remaining
+            .iter()
+            .position(|&i| q.atoms()[i].vars.iter().any(|v| bound_vars[v.0]))
+            .unwrap_or(0);
+        let atom = remaining.remove(pick_pos);
+        for v in &q.atoms()[atom].vars {
+            bound_vars[v.0] = true;
+        }
+        order.push(atom);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_cq::families;
+
+    fn db_with(relations: Vec<(&str, Vec<[Value; 2]>)>) -> Database {
+        let mut db = Database::new(10);
+        for (name, tuples) in relations {
+            db.insert_relation(Relation::from_tuples(name, 2, tuples).unwrap());
+        }
+        db
+    }
+
+    #[test]
+    fn two_way_join() {
+        let q = families::chain(2); // S1(x0,x1), S2(x1,x2)
+        let db = db_with(vec![
+            ("S1", vec![[1, 2], [3, 4]]),
+            ("S2", vec![[2, 5], [2, 6], [4, 7]]),
+        ]);
+        let out = evaluate(&q, &db).unwrap();
+        // Columns are (x0, x1, x2).
+        let expected = Relation::from_tuples(
+            "L2",
+            3,
+            vec![[1u64, 2, 5], [1, 2, 6], [3, 4, 7]],
+        )
+        .unwrap();
+        assert!(out.same_tuples(&expected));
+        assert_eq!(output_columns(&q), vec!["x0", "x1", "x2"]);
+    }
+
+    #[test]
+    fn triangle_join() {
+        let q = families::cycle(3); // S1(x1,x2), S2(x2,x3), S3(x3,x1)
+        let db = db_with(vec![
+            ("S1", vec![[1, 2], [4, 5], [7, 8]]),
+            ("S2", vec![[2, 3], [5, 6]]),
+            ("S3", vec![[3, 1], [6, 9]]),
+        ]);
+        let out = evaluate(&q, &db).unwrap();
+        // Only the triangle 1-2-3 closes.
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(&Tuple::from([1, 2, 3])));
+    }
+
+    #[test]
+    fn empty_relation_gives_empty_output() {
+        let q = families::chain(2);
+        let mut db = db_with(vec![("S1", vec![[1, 2]])]);
+        db.insert_relation(Relation::empty("S2", 2));
+        let out = evaluate(&q, &db).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn star_join() {
+        let q = families::star(2); // S1(z,x1), S2(z,x2)
+        let db = db_with(vec![
+            ("S1", vec![[1, 10], [2, 20]]),
+            ("S2", vec![[1, 11], [1, 12], [3, 30]]),
+        ]);
+        let out = evaluate(&q, &db).unwrap();
+        // z=1 pairs with x1=10 and x2 ∈ {11,12}.
+        assert_eq!(out.len(), 2);
+        // Column order is (z, x1, x2).
+        assert!(out.contains(&Tuple::from([1, 10, 11])));
+        assert!(out.contains(&Tuple::from([1, 10, 12])));
+    }
+
+    #[test]
+    fn disconnected_query_is_cartesian_product() {
+        let q = mpc_cq::Query::new("q", vec![("R", vec!["x"]), ("S", vec!["y"])]).unwrap();
+        let mut db = Database::new(10);
+        db.insert_relation(Relation::from_tuples("R", 1, vec![[1u64], [2]]).unwrap());
+        db.insert_relation(Relation::from_tuples("S", 1, vec![[5u64], [6], [7]]).unwrap());
+        let out = evaluate(&q, &db).unwrap();
+        assert_eq!(out.len(), 6);
+    }
+
+    #[test]
+    fn repeated_variable_in_atom_filters_diagonal() {
+        // q(x) :- R(x,x): only tuples with equal components survive.
+        let q = mpc_cq::Query::new("q", vec![("R", vec!["x", "x"])]).unwrap();
+        let db = db_with(vec![("R", vec![[1, 1], [1, 2], [3, 3]])]);
+        let out = evaluate(&q, &db).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out.contains(&Tuple::from([1])));
+        assert!(out.contains(&Tuple::from([3])));
+    }
+
+    #[test]
+    fn missing_relation_is_error() {
+        let q = families::chain(2);
+        let db = db_with(vec![("S1", vec![[1, 2]])]);
+        assert!(evaluate(&q, &db).is_err());
+    }
+
+    #[test]
+    fn evaluate_atoms_projects_to_subquery() {
+        let q = families::chain(3);
+        let db = db_with(vec![
+            ("S1", vec![[1, 2]]),
+            ("S2", vec![[2, 3]]),
+            ("S3", vec![[3, 4]]),
+        ]);
+        let s1 = q.atom_by_name("S1").unwrap().0;
+        let s2 = q.atom_by_name("S2").unwrap().0;
+        let out = evaluate_atoms(&q, &db, &[s1, s2]).unwrap();
+        assert_eq!(out.arity(), 3);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn unary_and_binary_mix() {
+        // The JOIN-WITNESS query shape with tiny data.
+        let q = families::witness_query();
+        let mut db = Database::new(10);
+        db.insert_relation(Relation::from_tuples("R", 1, vec![[1u64], [5]]).unwrap());
+        db.insert_relation(Relation::from_tuples("S1", 2, vec![[1u64, 2], [5, 6]]).unwrap());
+        db.insert_relation(Relation::from_tuples("S2", 2, vec![[2u64, 3], [6, 7]]).unwrap());
+        db.insert_relation(Relation::from_tuples("S3", 2, vec![[3u64, 4], [7, 8]]).unwrap());
+        db.insert_relation(Relation::from_tuples("T", 1, vec![[4u64]]).unwrap());
+        let out = evaluate(&q, &db).unwrap();
+        // Only the chain 1→2→3→4 ends in T.
+        assert_eq!(out.len(), 1);
+        // Columns are (w, x, y, z) in first-occurrence order.
+        assert!(out.contains(&Tuple::from([1, 2, 3, 4])));
+    }
+
+    #[test]
+    fn join_order_prefers_connected_atoms() {
+        let q = families::chain(3);
+        let db = db_with(vec![
+            ("S1", vec![[1, 2], [9, 9]]),
+            ("S2", vec![[2, 3]]),
+            ("S3", vec![[3, 4], [8, 8], [7, 7]]),
+        ]);
+        let order = join_order(&q, &db);
+        assert_eq!(order.len(), 3);
+        // S2 is smallest, so it comes first; the rest must stay connected.
+        assert_eq!(order[0], 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! Relations, database instances and the local (single-server) join engine.
+//!
+//! This crate is the storage substrate of the PODS 2013 reproduction. The
+//! MPC model moves *tuples of integers* between servers; locally each
+//! server is computationally unbounded, so any correct in-memory join
+//! suffices. We provide
+//!
+//! * [`Tuple`] and [`Relation`]: flat `u64` tuples grouped into named
+//!   relation instances with exact size accounting (tuples / bytes / bits),
+//! * [`Database`]: an instance binding every relation symbol of a query to
+//!   an instance, plus its domain size `n`,
+//! * [`join`]: evaluation of a full conjunctive query on a database by
+//!   connected-order hash joins — used both as the per-server local
+//!   evaluation inside the simulator and as the sequential ground truth the
+//!   parallel algorithms are checked against, and
+//! * [`estimate`]: the expected answer size `n^{1+χ(q)}` over random
+//!   matching databases (Lemma 3.4) and the AGM-style upper bound from a
+//!   fractional edge cover.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod database;
+pub mod error;
+pub mod estimate;
+pub mod join;
+pub mod relation;
+
+pub use database::Database;
+pub use error::StorageError;
+pub use relation::{Relation, Tuple};
+
+/// Convenience result alias used across this crate.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,270 @@
+//! Tuples and relation instances.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::StorageError;
+use crate::Result;
+
+/// A database value. The paper's matching databases draw values from the
+/// domain `[n] = {1, …, n}`; we use `u64` throughout.
+pub type Value = u64;
+
+/// A fixed-arity tuple of values.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Tuple(pub Vec<Value>);
+
+impl Tuple {
+    /// Create a tuple from a value slice.
+    pub fn new<V: Into<Vec<Value>>>(values: V) -> Self {
+        Tuple(values.into())
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The values.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// The value at a position.
+    pub fn get(&self, i: usize) -> Option<Value> {
+        self.0.get(i).copied()
+    }
+
+    /// Project onto the given positions (panics if a position is out of
+    /// range — positions always come from a validated query).
+    pub fn project(&self, positions: &[usize]) -> Tuple {
+        Tuple(positions.iter().map(|&i| self.0[i]).collect())
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple(values)
+    }
+}
+
+impl<const N: usize> From<[Value; N]> for Tuple {
+    fn from(values: [Value; N]) -> Self {
+        Tuple(values.to_vec())
+    }
+}
+
+/// A named relation instance: a set of tuples of fixed arity.
+///
+/// Duplicates are eliminated on construction and on
+/// [`Relation::insert`]; iteration order is insertion order of the first
+/// occurrence, which keeps downstream algorithms deterministic.
+///
+/// Only [`Serialize`] is derived: the deduplication index is rebuilt on
+/// construction, so round-tripping goes through [`Relation::from_tuples`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Relation {
+    name: String,
+    arity: usize,
+    tuples: Vec<Tuple>,
+    #[serde(skip)]
+    seen: BTreeSet<Tuple>,
+}
+
+impl Relation {
+    /// Create an empty relation with the given name and arity.
+    pub fn empty<S: Into<String>>(name: S, arity: usize) -> Self {
+        Relation { name: name.into(), arity, tuples: Vec::new(), seen: BTreeSet::new() }
+    }
+
+    /// Create a relation from an iterator of tuples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::TupleArity`] if a tuple's arity differs from
+    /// `arity`.
+    pub fn from_tuples<S, I, T>(name: S, arity: usize, tuples: I) -> Result<Self>
+    where
+        S: Into<String>,
+        I: IntoIterator<Item = T>,
+        T: Into<Tuple>,
+    {
+        let mut rel = Relation::empty(name, arity);
+        for t in tuples {
+            rel.insert(t.into())?;
+        }
+        Ok(rel)
+    }
+
+    /// The relation symbol.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The arity (number of columns).
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of (distinct) tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Insert a tuple; duplicates are ignored. Returns `true` if the tuple
+    /// was new.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::TupleArity`] if the arity does not match.
+    pub fn insert(&mut self, t: Tuple) -> Result<bool> {
+        if t.arity() != self.arity {
+            return Err(StorageError::TupleArity {
+                relation: self.name.clone(),
+                expected: self.arity,
+                actual: t.arity(),
+            });
+        }
+        if self.seen.insert(t.clone()) {
+            self.tuples.push(t);
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.seen.contains(t)
+    }
+
+    /// The tuples, in deterministic (first-insertion) order.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Iterate over the tuples.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// Rename the relation (returns a copy).
+    pub fn with_name<S: Into<String>>(&self, name: S) -> Relation {
+        let mut r = self.clone();
+        r.name = name.into();
+        r
+    }
+
+    /// Size of the relation in bytes, counting 8 bytes per value. This is
+    /// the accounting unit used by the simulator's load bounds.
+    pub fn size_in_bytes(&self) -> u64 {
+        (self.len() as u64) * (self.arity as u64) * 8
+    }
+
+    /// Size of the relation in bits when each value is encoded with
+    /// `⌈log₂(domain)⌉` bits — the paper's `N = O(n log n)` accounting.
+    pub fn size_in_bits(&self, domain: u64) -> u64 {
+        let bits_per_value = (64 - domain.max(2).leading_zeros()) as u64;
+        (self.len() as u64) * (self.arity as u64) * bits_per_value
+    }
+
+    /// The set of tuples as a sorted vector (useful for equality checks in
+    /// tests, ignoring insertion order).
+    pub fn sorted_tuples(&self) -> Vec<Tuple> {
+        let mut v = self.tuples.clone();
+        v.sort();
+        v
+    }
+
+    /// True if two relations contain exactly the same tuple sets
+    /// (names and insertion order are ignored).
+    pub fn same_tuples(&self, other: &Relation) -> bool {
+        self.arity == other.arity && self.seen == other.seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_basics() {
+        let t = Tuple::from([1, 2, 3]);
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.get(1), Some(2));
+        assert_eq!(t.get(5), None);
+        assert_eq!(t.project(&[2, 0]), Tuple::from([3, 1]));
+        assert_eq!(t.to_string(), "(1,2,3)");
+    }
+
+    #[test]
+    fn relation_dedups() {
+        let mut r = Relation::empty("R", 2);
+        assert!(r.insert(Tuple::from([1, 2])).unwrap());
+        assert!(!r.insert(Tuple::from([1, 2])).unwrap());
+        assert!(r.insert(Tuple::from([2, 1])).unwrap());
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&Tuple::from([1, 2])));
+        assert!(!r.contains(&Tuple::from([9, 9])));
+    }
+
+    #[test]
+    fn relation_rejects_wrong_arity() {
+        let mut r = Relation::empty("R", 2);
+        let err = r.insert(Tuple::from([1, 2, 3])).unwrap_err();
+        assert!(matches!(err, StorageError::TupleArity { .. }));
+    }
+
+    #[test]
+    fn from_tuples_builder() {
+        let r = Relation::from_tuples("R", 2, vec![[1u64, 2], [3, 4], [1, 2]]).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.name(), "R");
+        assert!(Relation::from_tuples("R", 1, vec![[1u64, 2]]).is_err());
+    }
+
+    #[test]
+    fn size_accounting() {
+        let r = Relation::from_tuples("R", 2, vec![[1u64, 2], [3, 4]]).unwrap();
+        assert_eq!(r.size_in_bytes(), 2 * 2 * 8);
+        // domain 1000 → 10 bits per value.
+        assert_eq!(r.size_in_bits(1000), 2 * 2 * 10);
+        // tiny domains still get at least 1 bit per value.
+        assert!(r.size_in_bits(1) >= 4);
+    }
+
+    #[test]
+    fn same_tuples_ignores_order_and_name() {
+        let a = Relation::from_tuples("A", 2, vec![[1u64, 2], [3, 4]]).unwrap();
+        let b = Relation::from_tuples("B", 2, vec![[3u64, 4], [1, 2]]).unwrap();
+        assert!(a.same_tuples(&b));
+        let c = Relation::from_tuples("C", 2, vec![[3u64, 4]]).unwrap();
+        assert!(!a.same_tuples(&c));
+    }
+
+    #[test]
+    fn sorted_tuples_is_sorted() {
+        let r = Relation::from_tuples("R", 1, vec![[3u64], [1], [2]]).unwrap();
+        assert_eq!(r.sorted_tuples(), vec![Tuple::from([1]), Tuple::from([2]), Tuple::from([3])]);
+    }
+}

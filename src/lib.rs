@@ -1,0 +1,102 @@
+//! # mpc-query
+//!
+//! Parallel query processing in the **Massively Parallel Communication
+//! (MPC)** model — a faithful, executable reproduction of *Beame, Koutris &
+//! Suciu, "Communication Steps for Parallel Query Processing" (PODS 2013)*.
+//!
+//! The library answers, for any full conjunctive query `q` and any number
+//! of servers `p`:
+//!
+//! * how to shuffle the data in **one round** with the provably minimal
+//!   replication — the **HyperCube** algorithm with share exponents
+//!   derived from the fractional vertex cover
+//!   ([`core::hypercube`], [`core::shares`]);
+//! * what that minimum is — the **space exponent** `ε*(q) = 1 − 1/τ*(q)`
+//!   ([`core::space_exponent`]) — and what fraction of the answers any
+//!   one-round algorithm can report below it
+//!   ([`core::hypercube::PartialHyperCube`]);
+//! * how many **rounds** are needed and sufficient at a given replication
+//!   level — multi-round plans, their execution, and the matching round
+//!   lower bounds ([`core::multiround`]);
+//! * what this implies for iterative graph computations — connected
+//!   components need `Ω(log p)` rounds on sparse graphs ([`graph`]).
+//!
+//! All algorithms run on an in-process cluster simulator ([`sim`]) that
+//! accounts for exactly the costs the theory talks about: bytes received
+//! per server per round, replication rates, and round counts.
+//!
+//! ## Crate map
+//!
+//! | Re-export | Crate | Contents |
+//! |-----------|-------|----------|
+//! | [`cq`] | `mpc-cq` | conjunctive queries, hypergraphs, χ, radius/diameter, query families |
+//! | [`lp`] | `mpc-lp` | exact rational simplex, vertex cover / edge packing LPs, τ* |
+//! | [`storage`] | `mpc-storage` | tuples, relations, databases, local joins, size estimates |
+//! | [`data`] | `mpc-data` | matching databases, skewed data, layered graphs |
+//! | [`sim`] | `mpc-sim` | the MPC(ε) cluster simulator and program trait |
+//! | [`core`] | `mpc-core` | HyperCube, shares, space exponents, multi-round plans and bounds |
+//! | [`graph`] | `mpc-graph` | connected components on the MPC model |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use mpc_query::prelude::*;
+//!
+//! // Analyse the triangle query and run it on 64 simulated servers.
+//! let q = mpc_query::cq::families::triangle();
+//! let analysis = QueryAnalysis::analyze(&q)?;
+//! assert_eq!(analysis.space_exponent, Rational::new(1, 3));
+//!
+//! let db = mpc_query::data::matching_database(&q, 1_000, 42);
+//! let cfg = MpcConfig::new(64, analysis.space_exponent.to_f64());
+//! let run = HyperCube::run(&q, &db, &cfg)?;
+//! assert!(run.result.within_budget());
+//!
+//! // The parallel result equals the sequential join.
+//! let truth = mpc_query::storage::join::evaluate(&q, &db)?;
+//! assert!(run.result.output.same_tuples(&truth));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mpc_cq as cq;
+pub use mpc_data as data;
+pub use mpc_graph as graph;
+pub use mpc_lp as lp;
+pub use mpc_sim as sim;
+pub use mpc_storage as storage;
+
+/// The paper's algorithms and bounds (re-export of `mpc-core`).
+pub use mpc_core as core;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use mpc_core::analysis::QueryAnalysis;
+    pub use mpc_core::hypercube::{HyperCube, PartialHyperCube};
+    pub use mpc_core::multiround::executor::MultiRound;
+    pub use mpc_core::multiround::planner::MultiRoundPlan;
+    pub use mpc_core::shares::ShareAllocation;
+    pub use mpc_core::space_exponent::{gamma_one_contains, space_exponent};
+    pub use mpc_cq::{families, parser::parse_query, Query};
+    pub use mpc_data::matching_database;
+    pub use mpc_lp::Rational;
+    pub use mpc_sim::{Cluster, MpcConfig};
+    pub use mpc_storage::{Database, Relation, Tuple};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_exposes_the_workflow() {
+        let q = parse_query("T2(z,x,y) :- S1(z,x), S2(z,y)").unwrap();
+        let analysis = QueryAnalysis::analyze(&q).unwrap();
+        assert_eq!(analysis.space_exponent, Rational::ZERO);
+        let db = matching_database(&q, 200, 3);
+        let run = HyperCube::run(&q, &db, &MpcConfig::new(8, 0.0)).unwrap();
+        assert_eq!(run.result.output.len(), 200);
+    }
+}

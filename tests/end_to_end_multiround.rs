@@ -1,0 +1,132 @@
+//! Integration tests: multi-round plans and their execution, plus the
+//! Table 2 round counts and the round lower bounds.
+
+use mpc_query::core::multiround::lower_bound::round_lower_bound;
+use mpc_query::core::multiround::planner::round_upper_bound;
+use mpc_query::prelude::*;
+use mpc_query::storage::join::evaluate;
+
+/// Table 2: rounds at ε = 0 for the running examples, upper = lower where
+/// the paper states an exact value.
+#[test]
+fn table_2_round_counts() {
+    let cases: Vec<(Query, usize)> = vec![
+        (families::chain(2), 1),
+        (families::chain(4), 2),
+        (families::chain(8), 3),
+        (families::chain(16), 4),
+        (families::star(5), 1),
+        (families::spoke(3), 2),
+        (families::spoke(5), 2),
+    ];
+    for (q, rounds) in cases {
+        let plan = MultiRoundPlan::build(&q, Rational::ZERO).unwrap();
+        assert_eq!(plan.num_rounds(), rounds, "{} plan depth", q.name());
+        let lower = round_lower_bound(&q, Rational::ZERO).unwrap();
+        assert_eq!(lower, rounds, "{} lower bound", q.name());
+    }
+}
+
+/// The rounds/space tradeoff for chains: r ≈ log k / log(2/(1−ε)).
+#[test]
+fn chain_round_space_tradeoff() {
+    let q = families::chain(16);
+    let expectations = [
+        (Rational::ZERO, 4usize),
+        (Rational::new(1, 2), 2),
+        // At ε = ε*(L16) = 7/8 a single round suffices.
+        (Rational::new(7, 8), 1),
+    ];
+    for (eps, rounds) in expectations {
+        let plan = MultiRoundPlan::build(&q, eps).unwrap();
+        assert_eq!(plan.num_rounds(), rounds, "L16 at ε = {eps}");
+        let lower = round_lower_bound(&q, eps).unwrap();
+        assert!(lower <= rounds);
+        assert!(rounds <= lower + 1, "gap larger than one round at ε = {eps}");
+    }
+}
+
+/// Executing the plans gives exactly the sequential answer, across
+/// families, exponents and server counts.
+#[test]
+fn multiround_execution_is_exact() {
+    let cases = vec![
+        (families::chain(6), Rational::ZERO, 8usize),
+        (families::chain(9), Rational::new(1, 2), 27),
+        (families::cycle(6), Rational::ZERO, 16),
+        (families::cycle(5), Rational::new(1, 2), 9),
+        (families::spoke(3), Rational::ZERO, 8),
+        (families::binomial(4, 2).unwrap(), Rational::ZERO, 16),
+    ];
+    for (q, eps, p) in cases {
+        let db = matching_database(&q, 300, 0xFEED ^ q.num_atoms() as u64);
+        let outcome = MultiRound::run(&q, &db, p, eps, 5).unwrap();
+        let truth = evaluate(&q, &db).unwrap();
+        assert!(
+            outcome.result.output.same_tuples(&truth),
+            "{} at ε = {eps} on p = {p}",
+            q.name()
+        );
+    }
+}
+
+/// Lower bound ≤ plan depth ≤ radius bound, for a spread of queries and
+/// exponents (Theorem 1.2's "nearly matching" statement).
+#[test]
+fn bounds_sandwich_plan_depth() {
+    let queries = vec![
+        families::chain(3),
+        families::chain(7),
+        families::chain(12),
+        families::cycle(4),
+        families::cycle(7),
+        families::star(6),
+        families::spoke(4),
+        families::binomial(4, 2).unwrap(),
+    ];
+    let exponents = [Rational::ZERO, Rational::new(1, 3), Rational::new(1, 2), Rational::new(2, 3)];
+    for q in &queries {
+        for &eps in &exponents {
+            let lower = round_lower_bound(q, eps).unwrap();
+            let plan = MultiRoundPlan::build(q, eps).unwrap();
+            let radius = round_upper_bound(q, eps).unwrap();
+            assert!(
+                lower <= plan.num_rounds(),
+                "{} at ε = {eps}: lower {lower} > plan {}",
+                q.name(),
+                plan.num_rounds()
+            );
+            assert!(
+                plan.num_rounds() <= radius.max(plan.num_rounds()),
+                "{} at ε = {eps}",
+                q.name()
+            );
+            // Tree-like queries: the paper's gap is at most one round.
+            if q.is_tree_like() {
+                assert!(
+                    plan.num_rounds() <= lower + 1,
+                    "{} at ε = {eps}: plan {} vs lower {lower}",
+                    q.name(),
+                    plan.num_rounds()
+                );
+            }
+        }
+    }
+}
+
+/// Larger ε never needs more rounds (monotonicity of the tradeoff).
+#[test]
+fn rounds_monotone_in_epsilon() {
+    for q in [families::chain(12), families::cycle(9), families::spoke(4)] {
+        let mut previous = usize::MAX;
+        for eps in [Rational::ZERO, Rational::new(1, 3), Rational::new(1, 2), Rational::new(2, 3)] {
+            let plan = MultiRoundPlan::build(&q, eps).unwrap();
+            assert!(
+                plan.num_rounds() <= previous,
+                "{}: rounds increased when ε grew to {eps}",
+                q.name()
+            );
+            previous = plan.num_rounds();
+        }
+    }
+}

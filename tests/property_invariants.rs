@@ -1,0 +1,155 @@
+//! Property-based tests of the theory-level invariants, over randomly
+//! generated connected binary conjunctive queries and random matching
+//! databases.
+//!
+//! Query generator: `k` variables are connected by a random spanning path
+//! (guaranteeing connectivity), then a few random extra binary atoms are
+//! added. All relation symbols are distinct, so the queries are valid full
+//! CQs without self-joins.
+
+use proptest::prelude::*;
+
+use mpc_query::core::multiround::lower_bound::round_lower_bound;
+use mpc_query::core::multiround::planner::round_upper_bound;
+use mpc_query::prelude::*;
+use mpc_query::storage::join::evaluate;
+
+/// A description of a random connected binary query.
+#[derive(Debug, Clone)]
+struct RandomQuery {
+    num_vars: usize,
+    extra_edges: Vec<(usize, usize)>,
+}
+
+impl RandomQuery {
+    fn build(&self) -> Query {
+        let var = |i: usize| format!("x{i}");
+        let mut atoms: Vec<(String, Vec<String>)> = Vec::new();
+        // Spanning path keeps the query connected.
+        for i in 1..self.num_vars {
+            atoms.push((format!("P{i}"), vec![var(i - 1), var(i)]));
+        }
+        for (idx, &(a, b)) in self.extra_edges.iter().enumerate() {
+            let (a, b) = (a % self.num_vars, b % self.num_vars);
+            if a == b {
+                continue;
+            }
+            atoms.push((format!("E{idx}"), vec![var(a), var(b)]));
+        }
+        if atoms.is_empty() {
+            atoms.push(("P1".to_string(), vec![var(0), var(0)]));
+        }
+        Query::new("RQ".to_string(), atoms).expect("generated queries are valid")
+    }
+}
+
+fn random_query() -> impl Strategy<Value = RandomQuery> {
+    (2usize..6, prop::collection::vec((0usize..6, 0usize..6), 0..4))
+        .prop_map(|(num_vars, extra_edges)| RandomQuery { num_vars, extra_edges })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// χ(q) ≤ 0 and the answer-size exponent k + ℓ − a equals c + χ
+    /// (Lemma 2.1(c) and Lemma 3.4).
+    #[test]
+    fn characteristic_invariants(rq in random_query()) {
+        let q = rq.build();
+        prop_assert!(q.characteristic() <= 0);
+        let exponent = q.num_vars() as i64 + q.num_atoms() as i64 - q.total_arity() as i64;
+        prop_assert_eq!(exponent, q.num_connected_components() as i64 + q.characteristic());
+    }
+
+    /// LP duality: the optimal vertex cover and edge packing have equal
+    /// value; the returned solutions are feasible; τ* ≥ 1 and the space
+    /// exponent lies in [0, 1).
+    #[test]
+    fn lp_duality_and_space_exponent(rq in random_query()) {
+        let q = rq.build();
+        let lps = mpc_query::lp::QueryLps::solve(&q).unwrap();
+        prop_assert_eq!(lps.vertex_cover().total(), lps.edge_packing().total());
+        prop_assert!(lps.vertex_cover().is_valid_for(&q));
+        prop_assert!(lps.edge_packing().is_valid_for(&q));
+        prop_assert!(lps.covering_number() >= Rational::ONE);
+        let eps = space_exponent(&q).unwrap();
+        prop_assert!(!eps.is_negative());
+        prop_assert!(eps < Rational::ONE);
+    }
+
+    /// Integer shares multiply to at most p, are at least 1 each, and the
+    /// share exponents sum to one.
+    #[test]
+    fn share_allocation_invariants(rq in random_query(), p in 1usize..200) {
+        let q = rq.build();
+        let alloc = ShareAllocation::optimal(&q, p).unwrap();
+        prop_assert!(alloc.num_cells() <= p);
+        prop_assert!(alloc.shares.iter().all(|&s| s >= 1));
+        prop_assert_eq!(Rational::sum(alloc.exponents.iter()).unwrap(), Rational::ONE);
+    }
+
+    /// Radius/diameter relations for connected queries.
+    #[test]
+    fn radius_diameter_relation(rq in random_query()) {
+        let q = rq.build();
+        if q.is_connected() {
+            let rad = q.radius().unwrap();
+            let diam = q.diameter().unwrap();
+            prop_assert!(rad <= diam);
+            prop_assert!(diam <= 2 * rad);
+        }
+    }
+
+    /// The HyperCube shuffle is exact: on a random matching database it
+    /// reports exactly the answers of the sequential join, for every seed
+    /// and server count.
+    #[test]
+    fn hypercube_is_exact(rq in random_query(), p in 2usize..40, seed in 0u64..1000) {
+        let q = rq.build();
+        let db = matching_database(&q, 60, seed);
+        let eps = space_exponent(&q).unwrap().to_f64();
+        let run = HyperCube::run_seeded(&q, &db, &MpcConfig::new(p, eps), seed).unwrap();
+        let truth = evaluate(&q, &db).unwrap();
+        prop_assert!(run.result.output.same_tuples(&truth));
+    }
+
+    /// Multi-round plans are valid, their execution is exact, and the
+    /// round lower bound never exceeds the plan depth.
+    #[test]
+    fn multiround_plans_are_exact(rq in random_query(), seed in 0u64..1000) {
+        let q = rq.build();
+        if !q.is_connected() || q.num_atoms() > 8 {
+            return Ok(());
+        }
+        let eps = Rational::ZERO;
+        let plan = MultiRoundPlan::build(&q, eps).unwrap();
+        plan.validate().unwrap();
+        let lower = round_lower_bound(&q, eps).unwrap();
+        prop_assert!(lower <= plan.num_rounds());
+        let upper = round_upper_bound(&q, eps).unwrap();
+        prop_assert!(lower <= upper);
+
+        let db = matching_database(&q, 40, seed);
+        let outcome = MultiRound::run(&q, &db, 8, eps, seed).unwrap();
+        let truth = evaluate(&q, &db).unwrap();
+        prop_assert!(outcome.result.output.same_tuples(&truth));
+    }
+
+    /// Lemma 3.4 sanity: over random matching databases the answer count
+    /// of tree-like connected queries is exactly n, and never exceeds n
+    /// for any connected query.
+    #[test]
+    fn matching_answer_counts(rq in random_query(), seed in 0u64..500) {
+        let q = rq.build();
+        if !q.is_connected() {
+            return Ok(());
+        }
+        let n = 50u64;
+        let db = matching_database(&q, n, seed);
+        let out = evaluate(&q, &db).unwrap();
+        prop_assert!(out.len() as u64 <= n);
+        if q.is_tree_like() {
+            prop_assert_eq!(out.len() as u64, n);
+        }
+    }
+}
