@@ -82,9 +82,7 @@ fn main() {
             rows.push(row);
         }
     }
-    table.print(&format!(
-        "E3 — rounds vs space exponent for chain queries Lk (n = {n}, p = {p})"
-    ));
+    table.print(&format!("E3 — rounds vs space exponent for chain queries Lk (n = {n}, p = {p})"));
     println!(
         "\nExpected shape (Example 4.2 / Cor 4.8): rounds = ⌈log_kε k⌉ with kε = 2⌊1/(1−ε)⌋; \
          L16 drops from 4 rounds (ε=0) to 2 rounds (ε=1/2); the lower bound matches the plan \

@@ -36,7 +36,11 @@ fn main() {
         table.row([
             row.p.to_string(),
             row.k.to_string(),
-            format!("{}{}", row.sparse_rounds, if row.sparse_converged { "" } else { " (not converged)" }),
+            format!(
+                "{}{}",
+                row.sparse_rounds,
+                if row.sparse_converged { "" } else { " (not converged)" }
+            ),
             row.sparse_within_budget.to_string(),
             row.dense_rounds.to_string(),
             row.dense_within_budget.to_string(),

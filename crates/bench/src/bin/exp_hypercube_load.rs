@@ -81,9 +81,7 @@ fn main() {
         ]);
         rows.push(row);
     }
-    table.print(&format!(
-        "E1 — HyperCube load for C3 (n = {n}, ε = {eps}), vs broadcast"
-    ));
+    table.print(&format!("E1 — HyperCube load for C3 (n = {n}, ε = {eps}), vs broadcast"));
     println!(
         "\nExpected shape (Prop 3.2): max load ≈ 3·n·8·2 / p^(2/3) bytes (each relation \
          replicated p^(1/3) times over p servers); broadcast stays at 3·n·16 bytes regardless of p."

@@ -32,7 +32,7 @@ struct Row {
     two_round_found: usize,
 }
 
-/// Build one hard instance: S1,S2,S3 matchings over [n]; R, T random
+/// Build one hard instance: S1,S2,S3 matchings over `[n]`; R, T random
 /// subsets of size √n.
 fn hard_instance(n: u64, seed: u64) -> Database {
     let q = families::witness_query();
@@ -78,8 +78,8 @@ fn main() {
                 continue;
             }
             with_witness += 1;
-            let one_round = PartialHyperCube::run(&q, &db, p, eps, t as u64)
-                .expect("partial HC run succeeds");
+            let one_round =
+                PartialHyperCube::run(&q, &db, p, eps, t as u64).expect("partial HC run succeeds");
             if !one_round.result.output.is_empty() {
                 one_round_found += 1;
             }
@@ -96,7 +96,13 @@ fn main() {
             one_round_found.to_string(),
             two_round_found.to_string(),
         ]);
-        rows.push(Row { p, trials, instances_with_witness: with_witness, one_round_found, two_round_found });
+        rows.push(Row {
+            p,
+            trials,
+            instances_with_witness: with_witness,
+            one_round_found,
+            two_round_found,
+        });
     }
     table.print(&format!("E6 — JOIN-WITNESS hard instances (Prop 3.12), n = {n}"));
     println!(

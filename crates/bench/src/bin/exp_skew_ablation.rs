@@ -69,7 +69,9 @@ fn main() {
             rows.push(row);
         }
     }
-    table.print(&format!("E7 — skew ablation: HyperCube balance on matchings vs Zipf inputs (n ≈ {n}, p = {p})"));
+    table.print(&format!(
+        "E7 — skew ablation: HyperCube balance on matchings vs Zipf inputs (n ≈ {n}, p = {p})"
+    ));
     println!(
         "\nExpected shape: matchings balance within a small constant of perfect (ratio ≈ 1–2); \
          increasing Zipf skew concentrates load on the servers owning the heavy hash keys, \

@@ -81,7 +81,9 @@ fn main() {
             rows.push(row);
         }
     }
-    table.print(&format!("E4 — SPk: one round with replication p^(1-1/k) vs two rounds with O(1) (n = {n})"));
+    table.print(&format!(
+        "E4 — SPk: one round with replication p^(1-1/k) vs two rounds with O(1) (n = {n})"
+    ));
     println!(
         "\nExpected shape (§4.1): the one-round replication grows towards p as k grows \
          (p^(1-1/k)), while the two-round plan keeps every round's replication near 1."

@@ -71,8 +71,7 @@ fn main() {
 
         // Execute the ε = 0 plan and check exactness.
         let db = matching_database(q, n, 7);
-        let outcome =
-            MultiRound::run(q, &db, p, Rational::ZERO, 3).expect("execution succeeds");
+        let outcome = MultiRound::run(q, &db, p, Rational::ZERO, 3).expect("execution succeeds");
         let truth = evaluate(q, &db).expect("sequential evaluation succeeds");
         let correct = outcome.result.output.same_tuples(&truth);
 
@@ -95,7 +94,9 @@ fn main() {
             simulated_correct: correct,
         });
     }
-    table.print(&format!("Table 2 (paper §4) — rounds/space tradeoff, simulated at p = {p}, n = {n}"));
+    table.print(&format!(
+        "Table 2 (paper §4) — rounds/space tradeoff, simulated at p = {p}, n = {n}"
+    ));
     println!(
         "\nPaper reference: Ck and Lk need ⌈log k⌉ rounds at ε = 0 and \
          ~log k / log(2/(1−ε)) in general; Tk needs 1 round; SPk needs 2 rounds at ε = 0 \

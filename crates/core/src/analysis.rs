@@ -160,11 +160,13 @@ mod tests {
         assert_eq!(a.space_exponent, r(3, 5));
         assert_eq!(a.share_exponents, vec![r(1, 5); 5]);
         assert_eq!(a.expected_answer_exponent, 0); // E = n^0 = 1
+
         // Tk row.
         let a = QueryAnalysis::analyze(&families::star(4)).unwrap();
         assert_eq!(a.tau_star, Rational::ONE);
         assert_eq!(a.space_exponent, Rational::ZERO);
         assert_eq!(a.expected_answer_exponent, 1); // E = n
+
         // Lk row.
         let a = QueryAnalysis::analyze(&families::chain(5)).unwrap();
         assert_eq!(a.tau_star, r(3, 1));

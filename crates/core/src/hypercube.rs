@@ -44,6 +44,16 @@ pub struct HyperCubeProgram {
 impl HyperCubeProgram {
     /// Build the program with the optimal share allocation for `p` servers.
     ///
+    /// ```
+    /// use mpc_core::hypercube::HyperCubeProgram;
+    ///
+    /// // The triangle query C3 has cover (1/2, 1/2, 1/2), so on p = 64
+    /// // servers every variable gets share 64^(1/3) = 4.
+    /// let q = mpc_cq::families::triangle();
+    /// let program = HyperCubeProgram::new(&q, 64, 42).unwrap();
+    /// assert_eq!(program.allocation().shares, vec![4, 4, 4]);
+    /// ```
+    ///
     /// # Errors
     ///
     /// Propagates LP/allocation errors.

@@ -110,9 +110,9 @@ impl PlanProgram {
             }
         }
 
-        let final_op = operators.last().ok_or_else(|| {
-            CoreError::InvalidPlan("plan has no operators".to_string())
-        })?;
+        let final_op = operators
+            .last()
+            .ok_or_else(|| CoreError::InvalidPlan("plan has no operators".to_string()))?;
         let final_view = final_op.view_name.clone();
         let final_vars = final_op.query.var_names();
         let mut final_projection = Vec::with_capacity(plan.original().num_vars());

@@ -106,9 +106,8 @@ pub fn greedy_good_set(q: &Query, epsilon: Rational) -> Result<Option<Vec<AtomId
 
     let mut chosen: Vec<AtomId> = Vec::new();
     for a in q.atom_ids() {
-        let conflict = gamma_sets.iter().any(|s| {
-            s.contains(&a) && chosen.iter().any(|c| s.contains(c))
-        });
+        let conflict =
+            gamma_sets.iter().any(|s| s.contains(&a) && chosen.iter().any(|c| s.contains(c)));
         if !conflict {
             chosen.push(a);
         }
@@ -285,10 +284,8 @@ mod tests {
     fn paper_good_set_for_chains() {
         // For Lk at ε = 0, taking every second atom is ε-good (Lemma 4.6).
         let q = families::chain(6);
-        let every_other: Vec<AtomId> = ["S1", "S3", "S5"]
-            .iter()
-            .map(|n| q.atom_by_name(n).unwrap().0)
-            .collect();
+        let every_other: Vec<AtomId> =
+            ["S1", "S3", "S5"].iter().map(|n| q.atom_by_name(n).unwrap().0).collect();
         assert!(is_epsilon_good(&q, &every_other, Rational::ZERO).unwrap());
         // Two adjacent atoms are NOT ε-good (they lie in a Γ¹_0 pair).
         let adjacent: Vec<AtomId> =
@@ -302,8 +299,7 @@ mod tests {
         // {S2,S3,S5,S6} consists of two paths (tree-like) and no Γ¹_0 pair
         // contains both S1 and S4.
         let q = families::cycle(6);
-        let m: Vec<AtomId> =
-            ["S1", "S4"].iter().map(|n| q.atom_by_name(n).unwrap().0).collect();
+        let m: Vec<AtomId> = ["S1", "S4"].iter().map(|n| q.atom_by_name(n).unwrap().0).collect();
         assert!(is_epsilon_good(&q, &m, Rational::ZERO).unwrap());
         // The empty set is trivially good only if the whole query is
         // tree-like; C6 is not (χ = −1).
@@ -319,8 +315,7 @@ mod tests {
         let good = greedy_good_set(&q, Rational::ZERO).unwrap().unwrap();
         // Greedy picks S1, S3, S5, S7.
         assert_eq!(good.len(), 4);
-        let names: Vec<&str> =
-            good.iter().map(|a| q.atom(*a).unwrap().name.as_str()).collect();
+        let names: Vec<&str> = good.iter().map(|a| q.atom(*a).unwrap().name.as_str()).collect();
         assert_eq!(names, vec!["S1", "S3", "S5", "S7"]);
     }
 

@@ -55,6 +55,23 @@ pub struct MultiRoundPlan {
 impl MultiRoundPlan {
     /// Build a plan for `q` at space exponent `epsilon`.
     ///
+    /// ```
+    /// use mpc_core::multiround::planner::MultiRoundPlan;
+    /// use mpc_lp::Rational;
+    ///
+    /// // Example 4.2 of the paper: at ε = 1/2 the chain L16 is answered in
+    /// // two rounds of L4 operators (L4 has τ* = 2 = 1/(1−ε)).
+    /// let q = mpc_cq::families::chain(16);
+    /// let plan = MultiRoundPlan::build(&q, Rational::new(1, 2)).unwrap();
+    /// plan.validate().unwrap();
+    /// assert_eq!(plan.num_rounds(), 2);
+    ///
+    /// // At ε = 0 every operator is a binary join, giving the
+    /// // ⌈log₂ 16⌉ = 4-deep bushy tree of Table 2.
+    /// let plan = MultiRoundPlan::build(&q, Rational::ZERO).unwrap();
+    /// assert_eq!(plan.num_rounds(), 4);
+    /// ```
+    ///
     /// # Errors
     ///
     /// Returns [`CoreError::Unsupported`] for disconnected queries and
@@ -67,9 +84,7 @@ impl MultiRoundPlan {
             )));
         }
         if epsilon.is_negative() || epsilon >= Rational::ONE {
-            return Err(CoreError::InvalidPlan(format!(
-                "ε must lie in [0, 1), got {epsilon}"
-            )));
+            return Err(CoreError::InvalidPlan(format!("ε must lie in [0, 1), got {epsilon}")));
         }
 
         let mut levels: Vec<PlanLevel> = Vec::new();
@@ -143,11 +158,7 @@ impl MultiRoundPlan {
 
     /// The final operator (the one producing the query answer).
     pub fn final_operator(&self) -> &Operator {
-        &self
-            .levels
-            .last()
-            .expect("plans have at least one level")
-            .operators[0]
+        &self.levels.last().expect("plans have at least one level").operators[0]
     }
 
     /// Total number of operators across all levels.
@@ -395,7 +406,10 @@ mod tests {
         // against the analytic bound for chains, where both are exact.
         for k in [4usize, 8, 16] {
             let plan = MultiRoundPlan::build(&families::chain(k), Rational::ZERO).unwrap();
-            assert!(plan.num_rounds() <= round_upper_bound(&families::chain(k), Rational::ZERO).unwrap());
+            assert!(
+                plan.num_rounds()
+                    <= round_upper_bound(&families::chain(k), Rational::ZERO).unwrap()
+            );
         }
     }
 

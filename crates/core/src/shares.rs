@@ -44,6 +44,20 @@ impl ShareAllocation {
     /// Compute the allocation from an *optimal* fractional vertex cover of
     /// the query.
     ///
+    /// ```
+    /// use mpc_core::shares::ShareAllocation;
+    /// use mpc_lp::Rational;
+    ///
+    /// // Chain L2 = S1(x0,x1), S2(x1,x2): the optimal cover puts weight 1
+    /// // on the join variable x1, so x1 receives the full hypercube and
+    /// // the endpoints are not partitioned at all — the classic hash join.
+    /// let q = mpc_cq::families::chain(2);
+    /// let alloc = ShareAllocation::optimal(&q, 16).unwrap();
+    /// assert_eq!(alloc.exponents, vec![Rational::ZERO, Rational::ONE, Rational::ZERO]);
+    /// assert_eq!(alloc.shares, vec![1, 16, 1]);
+    /// assert_eq!(Rational::sum(alloc.exponents.iter()).unwrap(), Rational::ONE);
+    /// ```
+    ///
     /// # Errors
     ///
     /// Propagates LP errors; also rejects `p == 0`.
@@ -85,13 +99,7 @@ impl ShareAllocation {
             .map(|v| v.checked_div(&tau).map_err(CoreError::from))
             .collect::<Result<_>>()?;
         let shares = round_shares(&exponents, p);
-        Ok(ShareAllocation {
-            cover: cover.weights().to_vec(),
-            tau,
-            exponents,
-            shares,
-            p,
-        })
+        Ok(ShareAllocation { cover: cover.weights().to_vec(), tau, exponents, shares, p })
     }
 
     /// Compute an allocation whose exponents are `(1 − ε) · vᵢ` for the
@@ -365,8 +373,8 @@ mod tests {
     fn custom_cover_is_respected() {
         // A non-optimal cover of L2: weight 1 on x0 and x1 (τ = 2).
         let q = families::chain(2);
-        let cover = VertexCover::from_weights(vec![Rational::ONE, Rational::ONE, Rational::ZERO])
-            .unwrap();
+        let cover =
+            VertexCover::from_weights(vec![Rational::ONE, Rational::ONE, Rational::ZERO]).unwrap();
         let alloc = ShareAllocation::from_cover(&q, &cover, 16).unwrap();
         assert_eq!(alloc.tau, r(2, 1));
         assert_eq!(alloc.exponents, vec![r(1, 2), r(1, 2), r(0, 1)]);

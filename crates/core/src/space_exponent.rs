@@ -47,10 +47,8 @@ pub fn space_exponent(q: &Query) -> Result<Rational> {
 /// Propagates LP errors; returns [`CoreError::Unsupported`] if *all* atoms
 /// are unary (the query is then trivial).
 pub fn space_exponent_without_unary(q: &Query) -> Result<Rational> {
-    let keep: Vec<_> = q
-        .atom_ids()
-        .filter(|a| q.atom(*a).map(|at| at.arity() > 1).unwrap_or(false))
-        .collect();
+    let keep: Vec<_> =
+        q.atom_ids().filter(|a| q.atom(*a).map(|at| at.arity() > 1).unwrap_or(false)).collect();
     if keep.is_empty() {
         return Err(CoreError::Unsupported(
             "query consists only of unary atoms; it is trivial on matching databases".to_string(),
@@ -103,9 +101,7 @@ pub fn k_epsilon(epsilon: Rational) -> usize {
 /// Panics if `ε ≥ 1` (degenerate).
 pub fn m_epsilon(epsilon: Rational) -> usize {
     assert!(epsilon < Rational::ONE, "ε must be < 1");
-    let ratio = Rational::new(2, 1)
-        .checked_div(&(Rational::ONE - epsilon))
-        .expect("1 − ε > 0");
+    let ratio = Rational::new(2, 1).checked_div(&(Rational::ONE - epsilon)).expect("1 − ε > 0");
     ratio.floor() as usize
 }
 
@@ -245,9 +241,6 @@ mod tests {
         assert!(space_exponent_without_unary(&trivial).is_err());
         // Queries with no unary atoms are unchanged.
         let c3 = families::cycle(3);
-        assert_eq!(
-            space_exponent_without_unary(&c3).unwrap(),
-            space_exponent(&c3).unwrap()
-        );
+        assert_eq!(space_exponent_without_unary(&c3).unwrap(), space_exponent(&c3).unwrap());
     }
 }

@@ -219,10 +219,8 @@ mod tests {
     fn contract_cycle_stays_cycle() {
         // Contracting every other atom of C6 yields C3 (Lemma 4.9 uses this).
         let q = families::cycle(6);
-        let m: Vec<AtomId> = ["S2", "S4", "S6"]
-            .iter()
-            .map(|n| q.atom_by_name(n).unwrap().0)
-            .collect();
+        let m: Vec<AtomId> =
+            ["S2", "S4", "S6"].iter().map(|n| q.atom_by_name(n).unwrap().0).collect();
         let c = q.contract(&m).unwrap();
         assert_eq!(c.num_atoms(), 3);
         assert_eq!(c.num_vars(), 3);

@@ -69,17 +69,17 @@ impl Query {
     /// `rad(q) = min_u max_v d(u, v)`, or `None` if the query is
     /// disconnected.
     pub fn radius(&self) -> Option<usize> {
-        self.var_ids().map(|v| self.eccentricity(v)).try_fold(usize::MAX, |acc, e| {
-            e.map(|e| acc.min(e))
-        })
+        self.var_ids()
+            .map(|v| self.eccentricity(v))
+            .try_fold(usize::MAX, |acc, e| e.map(|e| acc.min(e)))
     }
 
     /// `diam(q) = max_{u,v} d(u, v)`, or `None` if the query is
     /// disconnected.
     pub fn diameter(&self) -> Option<usize> {
-        self.var_ids().map(|v| self.eccentricity(v)).try_fold(0usize, |acc, e| {
-            e.map(|e| acc.max(e))
-        })
+        self.var_ids()
+            .map(|v| self.eccentricity(v))
+            .try_fold(0usize, |acc, e| e.map(|e| acc.max(e)))
     }
 
     /// A *center* of the query: a variable of minimum eccentricity

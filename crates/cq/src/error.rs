@@ -46,7 +46,10 @@ impl fmt::Display for CqError {
                 write!(f, "head variable `{v}` does not occur in the body")
             }
             CqError::NonFullQuery(v) => {
-                write!(f, "body variable `{v}` is missing from the head; only full queries are supported")
+                write!(
+                    f,
+                    "body variable `{v}` is missing from the head; only full queries are supported"
+                )
             }
             CqError::UnknownAtom(id) => write!(f, "atom id {id} out of range"),
             CqError::UnknownVariable(id) => write!(f, "variable id {id} out of range"),

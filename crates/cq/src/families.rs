@@ -5,7 +5,7 @@
 //! | `cycle(k)` = `C_k` | `⋀_{j=1}^{k} S_j(x_j, x_{(j mod k)+1})` | `k/2` | `1 − 2/k` |
 //! | `star(k)` = `T_k` | `⋀_{j=1}^{k} S_j(z, x_j)` | `1` | `0` |
 //! | `chain(k)` = `L_k` | `⋀_{j=1}^{k} S_j(x_{j−1}, x_j)` | `⌈k/2⌉` | `1 − 1/⌈k/2⌉` |
-//! | `binomial(k,m)` = `B_{k,m}` | `⋀_{I ⊆ [k], |I|=m} S_I(x̄_I)` | `k/m` | `1 − m/k` |
+//! | `binomial(k,m)` = `B_{k,m}` | <code>⋀_{I ⊆ \[k\], \|I\|=m} S_I(x̄_I)</code> | `k/m` | `1 − m/k` |
 //! | `spoke(k)` = `SP_k` | `⋀_{i=1}^{k} R_i(z,x_i), S_i(x_i,y_i)` | `k` | `1 − 1/k` |
 //!
 //! plus [`witness_query`], the query of Proposition 3.12 used for the
@@ -80,10 +80,8 @@ pub fn binomial(k: usize, m: usize) -> Result<Query> {
     let atoms = subsets
         .into_iter()
         .map(|subset| {
-            let name = format!(
-                "S_{}",
-                subset.iter().map(|i| i.to_string()).collect::<Vec<_>>().join("_")
-            );
+            let name =
+                format!("S_{}", subset.iter().map(|i| i.to_string()).collect::<Vec<_>>().join("_"));
             let vars = subset.iter().map(|i| format!("x{i}")).collect::<Vec<_>>();
             (name, vars)
         })
@@ -168,7 +166,10 @@ mod tests {
         assert_eq!(q.num_atoms(), 4);
         assert_eq!(q.num_vars(), 5);
         assert!(q.is_connected());
-        assert_eq!(q.to_string(), "L4(x0,x1,x2,x3,x4) :- S1(x0,x1), S2(x1,x2), S3(x2,x3), S4(x3,x4)");
+        assert_eq!(
+            q.to_string(),
+            "L4(x0,x1,x2,x3,x4) :- S1(x0,x1), S2(x1,x2), S3(x2,x3), S4(x3,x4)"
+        );
     }
 
     #[test]

@@ -190,11 +190,7 @@ mod tests {
     fn mixed_components() {
         let q = Query::new(
             "q",
-            vec![
-                ("R", vec!["x", "y"]),
-                ("S", vec!["y", "z"]),
-                ("T", vec!["u", "v"]),
-            ],
+            vec![("R", vec!["x", "y"]), ("S", vec!["y", "z"]), ("T", vec!["u", "v"])],
         )
         .unwrap();
         assert_eq!(q.num_connected_components(), 2);
@@ -207,11 +203,7 @@ mod tests {
     fn atom_subset_connectivity() {
         let q = Query::new(
             "L3",
-            vec![
-                ("S1", vec!["x0", "x1"]),
-                ("S2", vec!["x1", "x2"]),
-                ("S3", vec!["x2", "x3"]),
-            ],
+            vec![("S1", vec!["x0", "x1"]), ("S2", vec!["x1", "x2"]), ("S3", vec!["x2", "x3"])],
         )
         .unwrap();
         let s1 = q.atom_by_name("S1").unwrap().0;

@@ -125,9 +125,7 @@ fn split_atoms(body: &str) -> Result<Vec<String>> {
 /// Parse `Name(v1, v2, ...)` into the name and its variable list.
 fn parse_predicate(src: &str) -> Result<(String, Vec<String>)> {
     let src = src.trim();
-    let open = src
-        .find('(')
-        .ok_or_else(|| CqError::Parse(format!("expected `(` in `{src}`")))?;
+    let open = src.find('(').ok_or_else(|| CqError::Parse(format!("expected `(` in `{src}`")))?;
     if !src.ends_with(')') {
         return Err(CqError::Parse(format!("expected trailing `)` in `{src}`")));
     }

@@ -358,11 +358,7 @@ mod tests {
     fn triangle() -> Query {
         Query::new(
             "C3",
-            vec![
-                ("S1", vec!["x1", "x2"]),
-                ("S2", vec!["x2", "x3"]),
-                ("S3", vec!["x3", "x1"]),
-            ],
+            vec![("S1", vec!["x1", "x2"]), ("S2", vec!["x2", "x3"]), ("S3", vec!["x3", "x1"])],
         )
         .unwrap()
     }
@@ -466,11 +462,8 @@ mod tests {
     fn variable_in_all_atoms_detection() {
         let q = triangle();
         assert!(!q.has_variable_in_all_atoms());
-        let star = Query::new(
-            "T2",
-            vec![("S1", vec!["z", "x1"]), ("S2", vec!["z", "x2"])],
-        )
-        .unwrap();
+        let star =
+            Query::new("T2", vec![("S1", vec!["z", "x1"]), ("S2", vec!["z", "x2"])]).unwrap();
         assert!(star.has_variable_in_all_atoms());
     }
 

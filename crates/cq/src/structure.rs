@@ -170,11 +170,9 @@ mod tests {
     #[test]
     fn paper_acyclic_but_not_tree_like_example() {
         // q = S1(x0,x1,x2), S2(x1,x2,x3): acyclic, connected, χ = −1.
-        let q = Query::new(
-            "q",
-            vec![("S1", vec!["x0", "x1", "x2"]), ("S2", vec!["x1", "x2", "x3"])],
-        )
-        .unwrap();
+        let q =
+            Query::new("q", vec![("S1", vec!["x0", "x1", "x2"]), ("S2", vec!["x1", "x2", "x3"])])
+                .unwrap();
         assert!(q.is_acyclic());
         assert!(q.is_connected());
         assert_eq!(q.characteristic(), -1);

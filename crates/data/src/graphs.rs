@@ -255,12 +255,9 @@ mod tests {
     #[test]
     fn sequential_components_on_simple_graph() {
         // Two triangles and an isolated vertex.
-        let rel = Relation::from_tuples(
-            "E",
-            2,
-            vec![[1u64, 2], [2, 3], [3, 1], [4, 5], [5, 6], [6, 4]],
-        )
-        .unwrap();
+        let rel =
+            Relation::from_tuples("E", 2, vec![[1u64, 2], [2, 3], [3, 1], [4, 5], [5, 6], [6, 4]])
+                .unwrap();
         let (count, labels) = sequential_components(&rel, 7);
         assert_eq!(count, 3);
         assert_eq!(labels[&1], labels[&3]);

@@ -82,7 +82,13 @@ pub fn heavy_hitter_relation(
 ///
 /// Panics if the query contains a non-binary atom (the skew generators are
 /// only defined for binary relations).
-pub fn zipf_database(q: &Query, n: u64, tuples_per_relation: usize, theta: f64, seed: u64) -> Database {
+pub fn zipf_database(
+    q: &Query,
+    n: u64,
+    tuples_per_relation: usize,
+    theta: f64,
+    seed: u64,
+) -> Database {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut db = Database::new(n);
     for atom in q.atoms() {

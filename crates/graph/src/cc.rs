@@ -254,12 +254,9 @@ mod tests {
 
     #[test]
     fn single_triangle_converges_in_two_rounds() {
-        let edges = Relation::from_tuples(
-            "E",
-            2,
-            vec![[1u64, 2], [2, 1], [2, 3], [3, 2], [3, 1], [1, 3]],
-        )
-        .unwrap();
+        let edges =
+            Relation::from_tuples("E", 2, vec![[1u64, 2], [2, 1], [2, 3], [3, 2], [3, 1], [1, 3]])
+                .unwrap();
         let outcome = rounds_to_convergence(&edges, 3, 4, 0.0, 10, 1).unwrap();
         assert!(outcome.converged);
         assert!(outcome.rounds <= 2, "triangle has diameter 1, rounds = {}", outcome.rounds);
@@ -271,12 +268,9 @@ mod tests {
 
     #[test]
     fn two_components_get_distinct_labels() {
-        let edges = Relation::from_tuples(
-            "E",
-            2,
-            vec![[1u64, 2], [2, 1], [5, 6], [6, 5], [6, 7], [7, 6]],
-        )
-        .unwrap();
+        let edges =
+            Relation::from_tuples("E", 2, vec![[1u64, 2], [2, 1], [5, 6], [6, 5], [6, 7], [7, 6]])
+                .unwrap();
         let outcome = rounds_to_convergence(&edges, 7, 4, 0.0, 10, 3).unwrap();
         assert!(outcome.converged);
         let labels = labels_from_output(&outcome.result.output);
@@ -293,9 +287,15 @@ mod tests {
         // below log p; this simple one does not even reach that).
         let shallow = LayeredGraph::generate(2, 12, 3);
         let deep = LayeredGraph::generate(8, 12, 3);
-        let shallow_rounds =
-            rounds_to_convergence(&shallow.edge_relation("E"), shallow.num_vertices(), 8, 0.0, 32, 5)
-                .unwrap();
+        let shallow_rounds = rounds_to_convergence(
+            &shallow.edge_relation("E"),
+            shallow.num_vertices(),
+            8,
+            0.0,
+            32,
+            5,
+        )
+        .unwrap();
         let deep_rounds =
             rounds_to_convergence(&deep.edge_relation("E"), deep.num_vertices(), 8, 0.0, 32, 5)
                 .unwrap();
@@ -331,7 +331,12 @@ mod tests {
         let g = LayeredGraph::generate(5, 40, 4);
         let outcome = run_cc(&g.edge_relation("E"), g.num_vertices(), 8, 0.0, 6, 3).unwrap();
         for round in &outcome.result.rounds {
-            assert!(round.replication_rate <= 1.1, "round {} rate {}", round.round, round.replication_rate);
+            assert!(
+                round.replication_rate <= 1.1,
+                "round {} rate {}",
+                round.round,
+                round.replication_rate
+            );
         }
     }
 

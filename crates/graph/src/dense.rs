@@ -253,12 +253,9 @@ mod tests {
         let forest = spanning_forest(&edges);
         assert!(forest.len() < 50);
         // The forest preserves connectivity: same partition.
-        let forest_rel = Relation::from_tuples(
-            "F",
-            2,
-            forest.iter().map(|&(u, v)| [u, v]).collect::<Vec<_>>(),
-        )
-        .unwrap();
+        let forest_rel =
+            Relation::from_tuples("F", 2, forest.iter().map(|&(u, v)| [u, v]).collect::<Vec<_>>())
+                .unwrap();
         let full = components_of(edges.iter().map(|t| (t.values()[0], t.values()[1])));
         let reduced = components_of(forest_rel.iter().map(|t| (t.values()[0], t.values()[1])));
         for (v, l) in &full {

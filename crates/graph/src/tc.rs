@@ -124,9 +124,7 @@ impl MpcProgram for PathDoublingTc {
             }
         }
         for t in by_source.iter() {
-            closed
-                .insert(t.clone())
-                .map_err(|e| mpc_sim::SimError::Storage(e.to_string()))?;
+            closed.insert(t.clone()).map_err(|e| mpc_sim::SimError::Storage(e.to_string()))?;
         }
         Ok(vec![closed])
     }
@@ -271,12 +269,7 @@ mod tests {
     use super::*;
 
     fn directed_path(len: u64) -> Relation {
-        Relation::from_tuples(
-            "E",
-            2,
-            (1..len).map(|i| [i, i + 1]).collect::<Vec<_>>(),
-        )
-        .unwrap()
+        Relation::from_tuples("E", 2, (1..len).map(|i| [i, i + 1]).collect::<Vec<_>>()).unwrap()
     }
 
     #[test]
@@ -331,8 +324,7 @@ mod tests {
 
     #[test]
     fn cycle_reaches_everything() {
-        let edges =
-            Relation::from_tuples("E", 2, vec![[1u64, 2], [2, 3], [3, 4], [4, 1]]).unwrap();
+        let edges = Relation::from_tuples("E", 2, vec![[1u64, 2], [2, 3], [3, 4], [4, 1]]).unwrap();
         let outcome = tc_rounds_to_completion(&edges, 4, 4, 0.5, 8, 5).unwrap();
         assert!(outcome.complete);
         // Every ordered pair of distinct vertices is reachable.

@@ -119,10 +119,7 @@ impl EdgePacking {
             return false;
         }
         q.var_ids().all(|v| {
-            let sum = q
-                .atoms_of_var(v)
-                .iter()
-                .fold(Rational::ZERO, |acc, a| acc + self.weight(*a));
+            let sum = q.atoms_of_var(v).iter().fold(Rational::ZERO, |acc, a| acc + self.weight(*a));
             sum <= Rational::ONE
         })
     }
@@ -131,10 +128,8 @@ impl EdgePacking {
     pub fn is_tight_for(&self, q: &Query) -> bool {
         self.weights.len() == q.num_atoms()
             && q.var_ids().all(|v| {
-                let sum = q
-                    .atoms_of_var(v)
-                    .iter()
-                    .fold(Rational::ZERO, |acc, a| acc + self.weight(*a));
+                let sum =
+                    q.atoms_of_var(v).iter().fold(Rational::ZERO, |acc, a| acc + self.weight(*a));
                 sum == Rational::ONE
             })
     }
@@ -145,10 +140,8 @@ impl EdgePacking {
     pub fn variable_slacks(&self, q: &Query) -> Vec<Rational> {
         q.var_ids()
             .map(|v| {
-                let sum = q
-                    .atoms_of_var(v)
-                    .iter()
-                    .fold(Rational::ZERO, |acc, a| acc + self.weight(*a));
+                let sum =
+                    q.atoms_of_var(v).iter().fold(Rational::ZERO, |acc, a| acc + self.weight(*a));
                 Rational::ONE - sum
             })
             .collect()
@@ -188,10 +181,7 @@ impl EdgeCover {
             return false;
         }
         q.var_ids().all(|v| {
-            let sum = q
-                .atoms_of_var(v)
-                .iter()
-                .fold(Rational::ZERO, |acc, a| acc + self.weight(*a));
+            let sum = q.atoms_of_var(v).iter().fold(Rational::ZERO, |acc, a| acc + self.weight(*a));
             sum >= Rational::ONE
         })
     }
@@ -322,11 +312,7 @@ mod tests {
             assert_eq!(tau_star(&families::star(k)).unwrap(), r(1, 1), "T{k}");
         }
         for k in 1..=7usize {
-            assert_eq!(
-                tau_star(&families::chain(k)).unwrap(),
-                r(k.div_ceil(2) as i128, 1),
-                "L{k}"
-            );
+            assert_eq!(tau_star(&families::chain(k)).unwrap(), r(k.div_ceil(2) as i128, 1), "L{k}");
         }
         // B(k,m): τ* = k/m.
         assert_eq!(tau_star(&families::binomial(4, 2).unwrap()).unwrap(), r(2, 1));
@@ -374,8 +360,7 @@ mod tests {
         assert!(packing.is_tight_for(&l3));
         assert_eq!(packing.total(), lps.covering_number());
         // The canonical optimal cover (0,1,1,0) is valid but NOT tight.
-        let cover =
-            VertexCover::from_weights(vec![r(0, 1), r(1, 1), r(1, 1), r(0, 1)]).unwrap();
+        let cover = VertexCover::from_weights(vec![r(0, 1), r(1, 1), r(1, 1), r(0, 1)]).unwrap();
         assert!(cover.is_valid_for(&l3));
         assert!(!cover.is_tight_for(&l3));
     }

@@ -4,7 +4,7 @@
 //! the paper are small rationals (denominators bounded by the query size),
 //! so `i128` arithmetic with eager normalisation never overflows in
 //! practice; all operations are nevertheless checked and report
-//! [`LpError::Overflow`](crate::LpError::Overflow) instead of wrapping.
+//! [`LpError::Overflow`] instead of wrapping.
 
 use std::cmp::Ordering;
 use std::fmt;
@@ -139,12 +139,8 @@ impl Rational {
         // Cross-reduce first to keep the intermediate products small.
         let g1 = gcd(self.num, other.den).max(1);
         let g2 = gcd(other.num, self.den).max(1);
-        let num = (self.num / g1)
-            .checked_mul(other.num / g2)
-            .ok_or(LpError::Overflow("mul"))?;
-        let den = (self.den / g2)
-            .checked_mul(other.den / g1)
-            .ok_or(LpError::Overflow("mul"))?;
+        let num = (self.num / g1).checked_mul(other.num / g2).ok_or(LpError::Overflow("mul"))?;
+        let den = (self.den / g2).checked_mul(other.den / g1).ok_or(LpError::Overflow("mul"))?;
         Rational::checked_new(num, den)
     }
 

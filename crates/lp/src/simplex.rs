@@ -244,8 +244,7 @@ impl Tableau {
         let max_iters = 10_000 + 100 * (self.n_total + self.rows.len());
         for _ in 0..max_iters {
             // Entering column: smallest index with positive reduced cost.
-            let entering = (0..allowed_cols)
-                .find(|&j| self.reduced_cost(costs, j).is_positive());
+            let entering = (0..allowed_cols).find(|&j| self.reduced_cost(costs, j).is_positive());
             let Some(entering) = entering else {
                 return Ok(());
             };
@@ -412,16 +411,13 @@ mod tests {
     #[test]
     fn fractional_optimum_is_exact() {
         // The C3 vertex-cover LP directly: min v1+v2+v3 with pairwise sums ≥ 1.
-        let lp = LinearProgram::new(
-            Objective::Minimize,
-            vec![r(1, 1), r(1, 1), r(1, 1)],
-        )
-        .constrain(vec![r(1, 1), r(1, 1), r(0, 1)], ConstraintOp::Ge, r(1, 1))
-        .unwrap()
-        .constrain(vec![r(0, 1), r(1, 1), r(1, 1)], ConstraintOp::Ge, r(1, 1))
-        .unwrap()
-        .constrain(vec![r(1, 1), r(0, 1), r(1, 1)], ConstraintOp::Ge, r(1, 1))
-        .unwrap();
+        let lp = LinearProgram::new(Objective::Minimize, vec![r(1, 1), r(1, 1), r(1, 1)])
+            .constrain(vec![r(1, 1), r(1, 1), r(0, 1)], ConstraintOp::Ge, r(1, 1))
+            .unwrap()
+            .constrain(vec![r(0, 1), r(1, 1), r(1, 1)], ConstraintOp::Ge, r(1, 1))
+            .unwrap()
+            .constrain(vec![r(1, 1), r(0, 1), r(1, 1)], ConstraintOp::Ge, r(1, 1))
+            .unwrap();
         let sol = lp.solve().unwrap();
         assert_eq!(sol.objective_value, r(3, 2));
     }

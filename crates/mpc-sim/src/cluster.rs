@@ -71,10 +71,8 @@ impl Cluster {
                 msgs
             } else {
                 // Workers send join tuples (tuple-based model, Section 4.1).
-                let per_server: Vec<Result<Vec<Routed>>> = servers
-                    .par_iter()
-                    .map(|s| program.route_tuples(round, s.id(), s))
-                    .collect();
+                let per_server: Vec<Result<Vec<Routed>>> =
+                    servers.par_iter().map(|s| program.route_tuples(round, s.id(), s)).collect();
                 let mut msgs = Vec::new();
                 for r in per_server {
                     msgs.extend(r?);
@@ -107,10 +105,8 @@ impl Cluster {
             rounds.push(stats);
 
             // -- Local computation --------------------------------------------
-            let computed: Vec<Result<Vec<Relation>>> = servers
-                .par_iter()
-                .map(|s| program.compute(round, s.id(), s))
-                .collect();
+            let computed: Vec<Result<Vec<Relation>>> =
+                servers.par_iter().map(|s| program.compute(round, s.id(), s)).collect();
             for (server, result) in servers.iter_mut().zip(computed) {
                 for rel in result? {
                     server.add_local(rel);
@@ -200,16 +196,17 @@ mod tests {
             let position = match relation.name() {
                 "S1" => 1, // x1 is the second column of S1
                 "S2" => 0, // x1 is the first column of S2
-                other => {
-                    return Err(SimError::Program(format!("unexpected relation {other}")))
-                }
+                other => return Err(SimError::Program(format!("unexpected relation {other}"))),
             };
-            Ok(route_relation(relation, |t| {
-                vec![hash_value(self.seed, t.values()[position], p)]
-            }))
+            Ok(route_relation(relation, |t| vec![hash_value(self.seed, t.values()[position], p)]))
         }
 
-        fn compute(&self, _round: usize, _server: usize, _state: &ServerState) -> Result<Vec<Relation>> {
+        fn compute(
+            &self,
+            _round: usize,
+            _server: usize,
+            _state: &ServerState,
+        ) -> Result<Vec<Relation>> {
             Ok(Vec::new())
         }
 

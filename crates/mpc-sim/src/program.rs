@@ -117,13 +117,15 @@ impl MpcProgram for BroadcastProgram {
     }
 
     fn route_input(&self, relation: &Relation, p: usize) -> Result<Vec<Routed>> {
-        Ok(relation
-            .iter()
-            .map(|t| Routed::broadcast(relation.name(), t.clone(), p))
-            .collect())
+        Ok(relation.iter().map(|t| Routed::broadcast(relation.name(), t.clone(), p)).collect())
     }
 
-    fn compute(&self, _round: usize, _server: usize, _state: &ServerState) -> Result<Vec<Relation>> {
+    fn compute(
+        &self,
+        _round: usize,
+        _server: usize,
+        _state: &ServerState,
+    ) -> Result<Vec<Relation>> {
         Ok(Vec::new())
     }
 
@@ -153,10 +155,7 @@ pub fn route_relation<F>(relation: &Relation, mut f: F) -> Vec<Routed>
 where
     F: FnMut(&Tuple) -> Vec<usize>,
 {
-    relation
-        .iter()
-        .map(|t| Routed::new(relation.name(), t.clone(), f(t)))
-        .collect()
+    relation.iter().map(|t| Routed::new(relation.name(), t.clone(), f(t))).collect()
 }
 
 #[cfg(test)]

@@ -52,9 +52,7 @@ impl Database {
     ///
     /// Returns [`StorageError::MissingRelation`] if the symbol is unbound.
     pub fn relation_mut(&mut self, name: &str) -> Result<&mut Relation> {
-        self.relations
-            .get_mut(name)
-            .ok_or_else(|| StorageError::MissingRelation(name.to_string()))
+        self.relations.get_mut(name).ok_or_else(|| StorageError::MissingRelation(name.to_string()))
     }
 
     /// All relations, keyed by symbol.

@@ -19,8 +19,7 @@ use crate::Result;
 /// negative (e.g. cycles have `χ = −1`, so `E = 1`... for `C_k` the exact
 /// expectation is `1`); exact comparisons in tests use integer `n` powers.
 pub fn expected_matching_answer_size(q: &Query, n: u64) -> f64 {
-    let exponent =
-        q.num_vars() as i64 + q.num_atoms() as i64 - q.total_arity() as i64;
+    let exponent = q.num_vars() as i64 + q.num_atoms() as i64 - q.total_arity() as i64;
     (n as f64).powi(exponent as i32)
 }
 

@@ -52,16 +52,10 @@ pub fn evaluate(q: &Query, db: &Database) -> Result<Relation> {
             }
         }
 
-        let shared: Vec<(VarId, usize)> = var_positions
-            .iter()
-            .filter(|(v, _)| bound[v.0])
-            .map(|(v, ps)| (*v, ps[0]))
-            .collect();
-        let new_vars: Vec<(VarId, usize)> = var_positions
-            .iter()
-            .filter(|(v, _)| !bound[v.0])
-            .map(|(v, ps)| (*v, ps[0]))
-            .collect();
+        let shared: Vec<(VarId, usize)> =
+            var_positions.iter().filter(|(v, _)| bound[v.0]).map(|(v, ps)| (*v, ps[0])).collect();
+        let new_vars: Vec<(VarId, usize)> =
+            var_positions.iter().filter(|(v, _)| !bound[v.0]).map(|(v, ps)| (*v, ps[0])).collect();
 
         // Index the relation on the shared positions, keeping only tuples
         // that are self-consistent on repeated variables.
@@ -131,7 +125,8 @@ pub fn output_columns(q: &Query) -> Vec<String> {
 /// to the smallest remaining atom when the query is disconnected).
 fn join_order(q: &Query, db: &Database) -> Vec<usize> {
     let l = q.num_atoms();
-    let size_of = |i: usize| db.relation(&q.atoms()[i].name).map(Relation::len).unwrap_or(usize::MAX);
+    let size_of =
+        |i: usize| db.relation(&q.atoms()[i].name).map(Relation::len).unwrap_or(usize::MAX);
 
     let mut remaining: Vec<usize> = (0..l).collect();
     remaining.sort_by_key(|&i| (size_of(i), i));
@@ -170,18 +165,11 @@ mod tests {
     #[test]
     fn two_way_join() {
         let q = families::chain(2); // S1(x0,x1), S2(x1,x2)
-        let db = db_with(vec![
-            ("S1", vec![[1, 2], [3, 4]]),
-            ("S2", vec![[2, 5], [2, 6], [4, 7]]),
-        ]);
+        let db = db_with(vec![("S1", vec![[1, 2], [3, 4]]), ("S2", vec![[2, 5], [2, 6], [4, 7]])]);
         let out = evaluate(&q, &db).unwrap();
         // Columns are (x0, x1, x2).
-        let expected = Relation::from_tuples(
-            "L2",
-            3,
-            vec![[1u64, 2, 5], [1, 2, 6], [3, 4, 7]],
-        )
-        .unwrap();
+        let expected =
+            Relation::from_tuples("L2", 3, vec![[1u64, 2, 5], [1, 2, 6], [3, 4, 7]]).unwrap();
         assert!(out.same_tuples(&expected));
         assert_eq!(output_columns(&q), vec!["x0", "x1", "x2"]);
     }
@@ -212,10 +200,8 @@ mod tests {
     #[test]
     fn star_join() {
         let q = families::star(2); // S1(z,x1), S2(z,x2)
-        let db = db_with(vec![
-            ("S1", vec![[1, 10], [2, 20]]),
-            ("S2", vec![[1, 11], [1, 12], [3, 30]]),
-        ]);
+        let db =
+            db_with(vec![("S1", vec![[1, 10], [2, 20]]), ("S2", vec![[1, 11], [1, 12], [3, 30]])]);
         let out = evaluate(&q, &db).unwrap();
         // z=1 pairs with x1=10 and x2 ∈ {11,12}.
         assert_eq!(out.len(), 2);
@@ -255,11 +241,7 @@ mod tests {
     #[test]
     fn evaluate_atoms_projects_to_subquery() {
         let q = families::chain(3);
-        let db = db_with(vec![
-            ("S1", vec![[1, 2]]),
-            ("S2", vec![[2, 3]]),
-            ("S3", vec![[3, 4]]),
-        ]);
+        let db = db_with(vec![("S1", vec![[1, 2]]), ("S2", vec![[2, 3]]), ("S3", vec![[3, 4]])]);
         let s1 = q.atom_by_name("S1").unwrap().0;
         let s2 = q.atom_by_name("S2").unwrap().0;
         let out = evaluate_atoms(&q, &db, &[s1, s2]).unwrap();

@@ -21,7 +21,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!(
         "{:>6} {:>10} {:>14} {:>16} {:>14} {:>22}",
-        "p", "layers k", "sparse rounds", "sparse in budget", "dense rounds", "dense-on-sparse in budget"
+        "p",
+        "layers k",
+        "sparse rounds",
+        "sparse in budget",
+        "dense rounds",
+        "dense-on-sparse in budget"
     );
     for row in &rows {
         println!(

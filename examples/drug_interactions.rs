@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("τ*               : {} (each side needs weight 1/τ*)", analysis.tau_star);
     println!("space exponent   : {} → replication √p", analysis.space_exponent);
 
-    println!("\n{:>6} {:>12} {:>16} {:>16} {:>12}", "p", "shares", "HC max bytes", "broadcast bytes", "pairs found");
+    println!(
+        "\n{:>6} {:>12} {:>16} {:>16} {:>12}",
+        "p", "shares", "HC max bytes", "broadcast bytes", "pairs found"
+    );
     for p in [4usize, 16, 64, 256] {
         let cfg = MpcConfig::new(p, analysis.space_exponent.to_f64());
         let hc = HyperCube::run(&q, &db, &cfg)?;

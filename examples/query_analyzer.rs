@@ -14,11 +14,7 @@ use mpc_query::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
-    let q = if args.len() > 1 {
-        parse_query(&args[1])?
-    } else {
-        families::triangle()
-    };
+    let q = if args.len() > 1 { parse_query(&args[1])? } else { families::triangle() };
     let p: usize = if args.len() > 2 { args[2].parse()? } else { 64 };
 
     let analysis = QueryAnalysis::analyze(&q)?;
@@ -29,10 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("radius / diameter    : {:?} / {:?}", analysis.radius, analysis.diameter);
     println!("τ* (covering number) : {}", analysis.tau_star);
     println!("space exponent ε*    : {}", analysis.space_exponent);
-    println!(
-        "E[|q|] on matchings  : n^{} (Lemma 3.4)",
-        analysis.expected_answer_exponent
-    );
+    println!("E[|q|] on matchings  : n^{} (Lemma 3.4)", analysis.expected_answer_exponent);
 
     println!("\noptimal fractional vertex cover:");
     for (v, w) in q.var_names().iter().zip(&analysis.vertex_cover) {

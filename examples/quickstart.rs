@@ -47,8 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  rounds             : {}", hc.result.num_rounds());
     println!("  max bytes/server   : {}", hc.result.max_load_bytes());
     println!("  per-round budget   : {}", hc.result.rounds[0].budget_bytes);
-    println!("  replication rate   : {:.2} (≈ p^ε = {:.2})",
-        hc.result.rounds[0].replication_rate, cfg.allowed_replication());
+    println!(
+        "  replication rate   : {:.2} (≈ p^ε = {:.2})",
+        hc.result.rounds[0].replication_rate,
+        cfg.allowed_replication()
+    );
     println!("  within budget      : {}", hc.result.within_budget());
 
     // ------------------------------------------------------------------

@@ -1,0 +1,216 @@
+//! Workspace-local shim for the parts of `criterion` this workspace uses.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! crate cannot be fetched. This shim keeps the bench sources compiling
+//! unchanged and gives two behaviours, like criterion itself:
+//!
+//! * under `cargo bench` (cargo passes `--bench`): each benchmark runs a
+//!   warm-up iteration and then `sample_size` timed iterations, printing
+//!   min/mean/max wall-clock times;
+//! * under `cargo test` (no `--bench` flag): each benchmark closure runs
+//!   exactly once as a smoke test, so test runs stay fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver handed to each `criterion_group!` target.
+#[derive(Debug)]
+pub struct Criterion {
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench targets with `--bench`; test runs don't.
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Criterion { bench_mode }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        let bench_mode = self.bench_mode;
+        if bench_mode {
+            println!("\nbench group: {name}");
+        }
+        BenchmarkGroup { _criterion: self, name, sample_size: 10, bench_mode }
+    }
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendered from the benchmark's parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new<N: Into<String>, P: Display>(name: N, parameter: P) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    bench_mode: bool,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark (bench mode only).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark `f`, passing it the given input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.bench_mode, self.sample_size);
+        f(&mut bencher, input);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Benchmark `f` with no explicit input.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.bench_mode, self.sample_size);
+        f(&mut bencher);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Finish the group (kept for API compatibility; reporting is
+    /// per-benchmark).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        if !self.bench_mode {
+            return;
+        }
+        match &bencher.samples[..] {
+            [] => println!("  {}/{}: benchmark body never called Bencher::iter", self.name, id.0),
+            samples => {
+                let min = samples.iter().min().expect("non-empty");
+                let max = samples.iter().max().expect("non-empty");
+                let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+                println!(
+                    "  {}/{}: mean {mean:?}  min {min:?}  max {max:?}  ({} samples)",
+                    self.name,
+                    id.0,
+                    samples.len()
+                );
+            }
+        }
+    }
+}
+
+/// Times the closure handed to it by a benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    bench_mode: bool,
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(bench_mode: bool, sample_size: usize) -> Self {
+        Bencher { bench_mode, sample_size, samples: Vec::new() }
+    }
+
+    /// Run (and in bench mode, time) the benchmarked routine.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if !self.bench_mode {
+            black_box(routine());
+            return;
+        }
+        black_box(routine()); // warm-up
+        self.samples = (0..self.sample_size)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(routine());
+                start.elapsed()
+            })
+            .collect();
+    }
+}
+
+/// Declare a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the bench entry point, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_each_body_once() {
+        let mut c = Criterion { bench_mode: false };
+        let mut calls = 0;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(50);
+            group.bench_with_input(BenchmarkId::from_parameter(1), &1, |b, _| {
+                b.iter(|| calls += 1);
+            });
+            group.finish();
+        }
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn bench_mode_times_sample_size_iterations() {
+        let mut c = Criterion { bench_mode: true };
+        let mut calls = 0;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(5);
+            group.bench_function(BenchmarkId::new("f", "x"), |b| {
+                b.iter(|| calls += 1);
+            });
+            group.finish();
+        }
+        // 1 warm-up + 5 samples.
+        assert_eq!(calls, 6);
+    }
+}

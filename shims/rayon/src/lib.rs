@@ -1,0 +1,127 @@
+//! Workspace-local shim for the parts of `rayon` this workspace uses:
+//! `slice.par_iter().map(f).collect()`.
+//!
+//! The build environment has no network access, so the real `rayon` crate
+//! cannot be fetched. The simulator only needs an order-preserving parallel
+//! map over a slice, which `std::thread::scope` provides directly: the
+//! slice is split into one contiguous chunk per available core, each chunk
+//! is mapped on its own scoped thread, and the per-chunk results are
+//! re-concatenated in order.
+
+use std::num::NonZeroUsize;
+
+/// `rayon::prelude` stand-in; glob-import to get [`IntoParallelRefIterator`].
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParIter, ParMap};
+}
+
+/// Collections offering a by-reference parallel iterator.
+pub trait IntoParallelRefIterator<'data> {
+    /// The element type yielded by reference.
+    type Item: Sync + 'data;
+
+    /// A parallel iterator over `&self`.
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A borrowed parallel iterator over a slice.
+#[derive(Debug)]
+pub struct ParIter<'data, T: Sync> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Map every element through `f`, preserving order.
+    pub fn map<U, F>(self, f: F) -> ParMap<'data, T, F>
+    where
+        U: Send,
+        F: Fn(&'data T) -> U + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+}
+
+/// The result of [`ParIter::map`]; consumed by [`ParMap::collect`].
+#[derive(Debug)]
+pub struct ParMap<'data, T: Sync, F> {
+    items: &'data [T],
+    f: F,
+}
+
+impl<'data, T: Sync, F> ParMap<'data, T, F> {
+    /// Execute the map across all cores and collect the results in input
+    /// order.
+    pub fn collect<U, C>(self) -> C
+    where
+        U: Send,
+        F: Fn(&'data T) -> U + Sync,
+        C: FromIterator<U>,
+    {
+        let n = self.items.len();
+        let threads =
+            std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1).min(n.max(1));
+        if threads <= 1 || n <= 1 {
+            return self.items.iter().map(&self.f).collect();
+        }
+        let chunk_size = n.div_ceil(threads);
+        let f = &self.f;
+        let per_chunk: Vec<Vec<U>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .items
+                .chunks(chunk_size)
+                .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<U>>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("parallel map worker panicked")).collect()
+        });
+        per_chunk.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn preserves_order_and_maps_everything() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let out: Vec<u64> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out.len(), input.len());
+        assert!(out.iter().enumerate().all(|(i, &v)| v == 2 * i as u64));
+    }
+
+    #[test]
+    fn works_on_tiny_and_empty_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        let out: Vec<u8> = empty.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+        let one = [7u8];
+        let out: Vec<u8> = one[..].par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn collects_results_like_the_simulator_does() {
+        let input: Vec<i32> = (0..100).collect();
+        let out: Vec<Result<i32, String>> = input
+            .par_iter()
+            .map(|x| if *x % 2 == 0 { Ok(*x) } else { Err("odd".into()) })
+            .collect();
+        assert_eq!(out.iter().filter(|r| r.is_ok()).count(), 50);
+    }
+}

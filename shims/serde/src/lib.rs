@@ -1,0 +1,243 @@
+//! Workspace-local shim for the parts of `serde` this workspace uses.
+//!
+//! The build environment has no network access, so the real `serde` crate
+//! cannot be fetched. The workspace only ever *serialises to JSON* (the
+//! experiment binaries write row artefacts via `serde_json`), so the shim
+//! collapses serde's data-model machinery into a single trait producing a
+//! JSON [`Value`] tree. `#[derive(Serialize)]`/`#[derive(Deserialize)]` come
+//! from the sibling `serde_derive` shim and are re-exported here exactly
+//! like the real crate re-exports its derives.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+// The derives expand to `::serde::` paths; make them resolve in this
+// crate's own tests too.
+extern crate self as serde;
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// A JSON value tree — the serialisation target of the [`Serialize`] trait.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON signed integer.
+    Int(i128),
+    /// JSON unsigned integer.
+    UInt(u128),
+    /// JSON floating-point number.
+    Float(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, with insertion-ordered keys (serde-like field order).
+    Object(Vec<(String, Value)>),
+}
+
+/// Types that can be serialised into a JSON [`Value`].
+///
+/// Derivable via `#[derive(Serialize)]` for named structs, tuple structs and
+/// unit-variant enums; `#[serde(skip)]` omits a field.
+pub trait Serialize {
+    /// Convert `self` into a JSON value tree.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Marker trait standing in for serde's `Deserialize`.
+///
+/// Nothing in this workspace deserializes at runtime; the derive exists so
+/// `#[derive(Deserialize)]` on seed types keeps compiling.
+pub trait Deserialize {}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value { Value::UInt(*self as u128) }
+        }
+    )*};
+}
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value { Value::Int(*self as i128) }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, u128, usize);
+impl_int!(i8, i16, i32, i64, i128, isize);
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+impl Serialize for f64 {
+    fn to_json_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Serialize for char {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<K: std::fmt::Display, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.to_string(), v.to_json_value())).collect())
+    }
+}
+impl<K: std::fmt::Display, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.to_string(), v.to_json_value())).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize)]
+    struct Named {
+        a: u32,
+        #[serde(skip)]
+        #[allow(dead_code)]
+        hidden: Vec<u8>,
+        b: String,
+    }
+
+    #[derive(Serialize)]
+    struct Newtype(Vec<u64>);
+
+    #[derive(Serialize)]
+    struct WithArrowType {
+        #[serde(skip)]
+        #[allow(dead_code)]
+        f: fn(u32) -> u32,
+        count: u64,
+    }
+
+    #[derive(Serialize)]
+    enum Unit {
+        #[allow(dead_code)]
+        A,
+        B,
+    }
+
+    #[test]
+    fn named_struct_skips_marked_fields() {
+        let v = Named { a: 7, hidden: vec![1], b: "x".into() }.to_json_value();
+        assert_eq!(
+            v,
+            Value::Object(vec![
+                ("a".to_string(), Value::UInt(7)),
+                ("b".to_string(), Value::String("x".into())),
+            ])
+        );
+    }
+
+    #[test]
+    fn newtype_serialises_as_inner() {
+        assert_eq!(
+            Newtype(vec![1, 2]).to_json_value(),
+            Value::Array(vec![Value::UInt(1), Value::UInt(2)])
+        );
+    }
+
+    #[test]
+    fn unit_enum_serialises_as_name() {
+        assert_eq!(Unit::B.to_json_value(), Value::String("B".into()));
+    }
+
+    #[test]
+    fn arrow_in_field_type_does_not_swallow_later_fields() {
+        let v = WithArrowType { f: |x| x, count: 3 }.to_json_value();
+        assert_eq!(v, Value::Object(vec![("count".to_string(), Value::UInt(3))]));
+    }
+
+    #[test]
+    fn maps_and_options() {
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), Some(1u8));
+        m.insert("n".to_string(), None);
+        assert_eq!(
+            m.to_json_value(),
+            Value::Object(vec![("k".to_string(), Value::UInt(1)), ("n".to_string(), Value::Null),])
+        );
+    }
+}

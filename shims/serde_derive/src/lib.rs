@@ -1,0 +1,263 @@
+//! Workspace-local `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros
+//! for the vendored `serde` shim.
+//!
+//! The build environment has no network access, so the real `serde` +
+//! `serde_derive` crates cannot be fetched. This crate reimplements just the
+//! subset the workspace uses, with a hand-rolled token walker instead of
+//! `syn`:
+//!
+//! * named-field structs,
+//! * tuple structs (newtype semantics for a single field),
+//! * enums with unit variants only,
+//! * the `#[serde(skip)]` field attribute.
+//!
+//! `Serialize` expands to an impl of the shim's
+//! `serde::Serialize::to_json_value`; `Deserialize` expands to an empty
+//! marker impl (nothing in the workspace deserializes at runtime).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the serde shim's `Serialize` trait. Supports named structs, tuple
+/// structs, unit-variant enums and `#[serde(skip)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "fields.push((\"{f}\".to_string(), \
+                     ::serde::Serialize::to_json_value(&self.{f})));\n",
+                    f = f.name
+                ));
+            }
+            format!(
+                "let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}::serde::Value::Object(fields)"
+            )
+        }
+        Shape::TupleStruct(fields) => {
+            let live: Vec<usize> =
+                fields.iter().enumerate().filter(|(_, f)| !f.skip).map(|(i, _)| i).collect();
+            if live.len() == 1 {
+                // Newtype structs serialise as their inner value, like serde.
+                format!("::serde::Serialize::to_json_value(&self.{})", live[0])
+            } else {
+                let items: Vec<String> = live
+                    .iter()
+                    .map(|i| format!("::serde::Serialize::to_json_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            }
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> =
+                variants.iter().map(|v| format!("{name}::{v} => \"{v}\"")).collect();
+            format!("::serde::Value::String(match self {{ {} }}.to_string())", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_json_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .expect("serde_derive shim generated invalid Rust")
+}
+
+/// Derive the serde shim's `Deserialize` marker trait (an empty impl —
+/// nothing in this workspace deserializes at runtime).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!("impl ::serde::Deserialize for {} {{}}\n", item.name)
+        .parse()
+        .expect("serde_derive shim generated invalid Rust")
+}
+
+struct Field {
+    name: String, // index as a string for tuple fields
+    skip: bool,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(Vec<Field>),
+    UnitEnum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, found {other}"),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic types are not supported (type `{name}`)");
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(parse_tuple_fields(g.stream()))
+            }
+            _ => Shape::NamedStruct(Vec::new()), // unit struct
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::UnitEnum(parse_unit_variants(g.stream(), &name))
+            }
+            other => panic!("serde_derive shim: malformed enum `{name}`: {other:?}"),
+        },
+        other => panic!("serde_derive shim: cannot derive for `{other} {name}`"),
+    };
+
+    Item { name, shape }
+}
+
+/// Skip `#[...]` attributes starting at `*i`, returning whether any of them
+/// was exactly `#[serde(skip)]`.
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    while let (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g))) =
+        (tokens.get(*i), tokens.get(*i + 1))
+    {
+        if p.as_char() != '#' || g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+            (inner.first(), inner.get(1))
+        {
+            if id.to_string() == "serde" && args.to_string().replace(' ', "") == "(skip)" {
+                skip = true;
+            }
+        }
+        *i += 2;
+    }
+    skip
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(&tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        // `pub(crate)`, `pub(super)`, ...
+        if matches!(&tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Advance past a type (or any token run) until a top-level `,`, tracking
+/// `<`/`>` nesting so commas inside generics don't split fields. The `>` of
+/// a `->` (fn-pointer / closure return type) is not a closing angle.
+fn skip_until_top_level_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth: i32 = 0;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '-' if matches!(tokens.get(*i + 1), Some(TokenTree::Punct(q)) if q.as_char() == '>') =>
+                {
+                    *i += 2; // skip `->` as a unit
+                    continue;
+                }
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *i += 1; // consume the comma
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let skip = skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected field name, found {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive shim: expected `:` after `{name}`, found {other}"),
+        }
+        skip_until_top_level_comma(&tokens, &mut i);
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    let mut index = 0usize;
+    while i < tokens.len() {
+        let skip = skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        skip_until_top_level_comma(&tokens, &mut i);
+        fields.push(Field { name: index.to_string(), skip });
+        index += 1;
+    }
+    fields
+}
+
+fn parse_unit_variants(stream: TokenStream, enum_name: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected variant name, found {other}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                i += 1;
+                skip_until_top_level_comma(&tokens, &mut i);
+            }
+            Some(TokenTree::Group(_)) => panic!(
+                "serde_derive shim: enum `{enum_name}` has a data-carrying variant \
+                 `{name}`; only unit variants are supported"
+            ),
+            Some(other) => panic!("serde_derive shim: unexpected token {other} in `{enum_name}`"),
+        }
+        variants.push(name);
+    }
+    variants
+}

@@ -1,0 +1,150 @@
+//! Workspace-local shim for the parts of `serde_json` this workspace uses:
+//! rendering a [`serde::Serialize`] value as (pretty-printed) JSON text.
+//!
+//! The build environment has no network access, so the real `serde_json`
+//! crate cannot be fetched. This shim renders the JSON [`serde::Value`]
+//! tree produced by the vendored serde shim.
+
+use serde::{Serialize, Value};
+
+/// Error type of the JSON serialisers.
+///
+/// Rendering a [`Value`] tree to text cannot actually fail, but the
+/// signatures mirror `serde_json` so call sites keep compiling unchanged.
+#[derive(Debug)]
+pub struct Error(());
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JSON serialisation error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialise `value` as a compact JSON string.
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors the `serde_json` signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_json_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serialise `value` as a pretty-printed JSON string (2-space indent).
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors the `serde_json` signature.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_json_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn render(value: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(x) => {
+            if x.is_finite() {
+                // Like serde_json, print floats losslessly and keep integral
+                // floats distinguishable from integers.
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    out.push_str(&format!("{x:.1}"));
+                } else {
+                    out.push_str(&x.to_string());
+                }
+            } else {
+                out.push_str("null"); // serde_json maps NaN/inf to null
+            }
+        }
+        Value::String(s) => push_escaped(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                render(item, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                push_escaped(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(item, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(indent: Option<usize>, depth: usize, out: &mut String) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+}
+
+fn push_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn pretty_renders_nested_rows() {
+        let rows = vec![("alpha".to_string(), 1u64), ("be\"ta".to_string(), 2)];
+        let json = super::to_string_pretty(&rows).unwrap();
+        assert!(json.starts_with('['));
+        assert!(json.contains("\"alpha\""));
+        assert!(json.contains("\\\""));
+        let compact = super::to_string(&rows).unwrap();
+        assert!(!compact.contains('\n'));
+    }
+
+    #[test]
+    fn floats_and_specials() {
+        assert_eq!(super::to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(super::to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(super::to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(super::to_string(&Option::<u8>::None).unwrap(), "null");
+    }
+}

@@ -90,6 +90,37 @@ pub mod prelude {
 mod tests {
     use super::prelude::*;
 
+    /// Compile-time smoke test: every symbol the prelude advertises
+    /// resolves. Types are checked by naming them in signatures, functions
+    /// by coercion to a function value; the assertions only keep the
+    /// bindings observably alive.
+    #[test]
+    fn prelude_symbols_resolve() {
+        fn _takes_types(
+            _: &QueryAnalysis,
+            _: &HyperCube,
+            _: &PartialHyperCube,
+            _: &MultiRound,
+            _: &MultiRoundPlan,
+            _: &ShareAllocation,
+            _: &Query,
+            _: &Rational,
+            _: &Cluster,
+            _: &MpcConfig,
+            _: &Database,
+            _: &Relation,
+            _: &Tuple,
+        ) {
+        }
+        let _parse: fn(&str) -> Result<Query, crate::cq::CqError> = parse_query;
+        let _matching: fn(&Query, u64, u64) -> Database = matching_database;
+        let _gamma: fn(&Query, Rational) -> Result<bool, crate::core::CoreError> =
+            gamma_one_contains;
+        let _eps: fn(&Query) -> Result<Rational, crate::core::CoreError> = space_exponent;
+        let _triangle: fn() -> Query = families::triangle;
+        assert_eq!(Rational::ZERO, Rational::new(0, 1));
+    }
+
     #[test]
     fn prelude_exposes_the_workflow() {
         let q = parse_query("T2(z,x,y) :- S1(z,x), S2(z,y)").unwrap();

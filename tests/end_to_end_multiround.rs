@@ -62,11 +62,7 @@ fn multiround_execution_is_exact() {
         let db = matching_database(&q, 300, 0xFEED ^ q.num_atoms() as u64);
         let outcome = MultiRound::run(&q, &db, p, eps, 5).unwrap();
         let truth = evaluate(&q, &db).unwrap();
-        assert!(
-            outcome.result.output.same_tuples(&truth),
-            "{} at ε = {eps} on p = {p}",
-            q.name()
-        );
+        assert!(outcome.result.output.same_tuples(&truth), "{} at ε = {eps} on p = {p}", q.name());
     }
 }
 

@@ -100,10 +100,7 @@ fn partial_answers_fraction_decays_with_p() {
         let outcome = PartialHyperCube::run(&q, &db, p, Rational::ZERO, 7).unwrap();
         let reported = outcome.result.output.len() as f64 / n as f64;
         let predicted = 1.0 / p as f64; // 1/p^{τ*(1−ε)−1} with τ* = 2, ε = 0
-        assert!(
-            reported < previous_fraction + 1e-9,
-            "reported fraction should shrink with p"
-        );
+        assert!(reported < previous_fraction + 1e-9, "reported fraction should shrink with p");
         assert!(
             reported <= predicted * 3.0 + 0.01,
             "p = {p}: reported {reported} far above predicted {predicted}"
