@@ -1,0 +1,49 @@
+//! Criterion bench: skew-resilient routing (detection + residual planning
+//! + shuffle + local join) versus vanilla HyperCube on identical skewed
+//! inputs, across Zipf exponents and server counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mpc_core::hypercube::HyperCube;
+use mpc_cq::families;
+use mpc_data::skew::zipf_database;
+use mpc_sim::MpcConfig;
+use mpc_skew::{HeavyHitterPolicy, SkewResilientProgram};
+
+fn bench_skew_resilient_vs_vanilla(c: &mut Criterion) {
+    let q = families::chain(2);
+    let n = 5_000;
+    let db = zipf_database(&q, n, n as usize, 1.2, 5);
+    let cfg = MpcConfig::new(32, 0.0);
+
+    let mut group = c.benchmark_group("skew_chain_zipf12");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("vanilla_hc"), |b| {
+        b.iter(|| HyperCube::run(&q, &db, &cfg).unwrap());
+    });
+    group.bench_function(BenchmarkId::from_parameter("skew_resilient"), |b| {
+        b.iter(|| mpc_skew::SkewResilient::run(&q, &db, &cfg).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_planning_only(c: &mut Criterion) {
+    // Detection + residual planning in isolation: the per-query overhead a
+    // caller pays before any tuple moves.
+    let q = families::chain(2);
+    let n = 5_000;
+    let db = zipf_database(&q, n, n as usize, 1.2, 5);
+    let policy = HeavyHitterPolicy::default();
+
+    let mut group = c.benchmark_group("skew_planning");
+    group.sample_size(10);
+    for p in [16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| SkewResilientProgram::new(&q, &db, p, &policy, 42).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_skew_resilient_vs_vanilla, bench_planning_only);
+criterion_main!(benches);

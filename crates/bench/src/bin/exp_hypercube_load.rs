@@ -64,7 +64,7 @@ fn main() {
             hc_max_bytes: hc.result.max_load_bytes(),
             budget_bytes: hc.result.rounds[0].budget_bytes,
             hc_within_budget: hc.result.within_budget(),
-            hc_replication: hc.result.rounds[0].replication_rate,
+            hc_replication: hc.result.max_replication_rate(),
             broadcast_max_bytes: broadcast.max_load_bytes(),
             answers: hc.result.output.len(),
             correct,

@@ -62,7 +62,7 @@ fn main() {
                 k,
                 p,
                 one_round_epsilon: eps.to_string(),
-                one_round_replication: one_round.result.rounds[0].replication_rate,
+                one_round_replication: one_round.result.max_replication_rate(),
                 one_round_max_bytes: one_round.result.max_load_bytes(),
                 two_round_replication: two_round.result.max_replication_rate(),
                 two_round_max_bytes: two_round.result.max_load_bytes(),

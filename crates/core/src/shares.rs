@@ -195,28 +195,37 @@ impl ShareAllocation {
     /// number of returned cells is the replication factor of the tuple
     /// being routed.
     pub fn consistent_cells(&self, partial: &[Option<usize>]) -> Vec<usize> {
-        debug_assert_eq!(partial.len(), self.shares.len());
-        let mut cells = vec![0usize];
-        for (dim, share) in self.shares.iter().enumerate() {
-            let mut next = Vec::with_capacity(cells.len() * share);
-            match partial[dim] {
-                Some(coord) => {
-                    for base in &cells {
+        consistent_cells(&self.shares, partial)
+    }
+}
+
+/// Enumerate the cells of a mixed-radix grid (radix `shares[i]` in
+/// dimension `i`) consistent with partial coordinates (`None` = free
+/// dimension). This is the routing enumeration of every HyperCube-style
+/// program; [`ShareAllocation::consistent_cells`] delegates here, and the
+/// skew-resilient residual plans reuse it over their own share vectors.
+pub fn consistent_cells(shares: &[usize], partial: &[Option<usize>]) -> Vec<usize> {
+    debug_assert_eq!(partial.len(), shares.len());
+    let mut cells = vec![0usize];
+    for (dim, share) in shares.iter().enumerate() {
+        let mut next = Vec::with_capacity(cells.len() * share);
+        match partial[dim] {
+            Some(coord) => {
+                for base in &cells {
+                    next.push(base * share + coord);
+                }
+            }
+            None => {
+                for base in &cells {
+                    for coord in 0..*share {
                         next.push(base * share + coord);
                     }
                 }
-                None => {
-                    for base in &cells {
-                        for coord in 0..*share {
-                            next.push(base * share + coord);
-                        }
-                    }
-                }
             }
-            cells = next;
         }
-        cells
+        cells = next;
     }
+    cells
 }
 
 /// `p^e` for a rational exponent, as `f64`.

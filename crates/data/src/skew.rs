@@ -5,6 +5,8 @@
 //! data has heavy hitters; the skew ablation (experiment E7 in DESIGN.md)
 //! compares per-server loads on these skewed inputs against matchings.
 
+use std::collections::BTreeMap;
+
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -98,20 +100,77 @@ pub fn zipf_database(
     db
 }
 
-/// Measure the *skew* of a relation's first attribute: the ratio between
-/// the most frequent value's count and the average count per distinct
-/// value. A matching has skew exactly 1.
-pub fn first_attribute_skew(rel: &Relation) -> f64 {
+/// A database for a binary-relation query in which every relation is a
+/// [`heavy_hitter_relation`] with the given heavy fraction: the canonical
+/// adversarial input for hash partitioning. Non-binary atoms are rejected.
+///
+/// # Panics
+///
+/// Panics if the query contains a non-binary atom (the skew generators are
+/// only defined for binary relations).
+pub fn heavy_hitter_database(
+    q: &Query,
+    n: u64,
+    tuples_per_relation: usize,
+    heavy_frac: f64,
+    seed: u64,
+) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new(n);
+    for atom in q.atoms() {
+        assert_eq!(atom.arity(), 2, "heavy_hitter_database only supports binary atoms");
+        db.insert_relation(heavy_hitter_relation(
+            &atom.name,
+            n,
+            tuples_per_relation,
+            heavy_frac,
+            &mut rng,
+        ));
+    }
+    db
+}
+
+/// Exact frequency histogram of one column: for each value occurring at
+/// position `idx`, the number of tuples carrying it. This is the statistic
+/// the heavy-hitter detector thresholds against.
+///
+/// # Panics
+///
+/// Panics if `idx` is out of range for the relation's arity (and the
+/// relation is non-empty).
+pub fn frequency_histogram(rel: &Relation, idx: usize) -> BTreeMap<u64, usize> {
+    let mut counts = BTreeMap::new();
+    for t in rel.iter() {
+        *counts.entry(t.values()[idx]).or_insert(0usize) += 1;
+    }
+    counts
+}
+
+/// Measure the *skew* of one column of a relation: the ratio between the
+/// most frequent value's count and the mean count over the values that
+/// actually **occur** in that column (not over the whole domain `[n]`), so
+/// a relation whose column support is tiny but uniform still reports 1.
+/// A matching has skew exactly 1 in every column; the empty relation
+/// reports 1 by convention.
+///
+/// # Panics
+///
+/// Panics if `idx` is out of range for the relation's arity (and the
+/// relation is non-empty).
+pub fn attribute_skew(rel: &Relation, idx: usize) -> f64 {
     if rel.is_empty() {
         return 1.0;
     }
-    let mut counts = std::collections::HashMap::new();
-    for t in rel.iter() {
-        *counts.entry(t.values()[0]).or_insert(0usize) += 1;
-    }
+    let counts = frequency_histogram(rel, idx);
     let max = *counts.values().max().expect("non-empty") as f64;
     let avg = rel.len() as f64 / counts.len() as f64;
     max / avg
+}
+
+/// [`attribute_skew`] of the first column — kept as a thin wrapper because
+/// the generators in this module skew the first attribute.
+pub fn first_attribute_skew(rel: &Relation) -> f64 {
+    attribute_skew(rel, 0)
 }
 
 #[cfg(test)]
@@ -168,5 +227,39 @@ mod tests {
     fn empty_relation_skew_is_one() {
         let rel = Relation::empty("E", 2);
         assert_eq!(first_attribute_skew(&rel), 1.0);
+        assert_eq!(attribute_skew(&rel, 1), 1.0);
+    }
+
+    #[test]
+    fn frequency_histogram_counts_exactly() {
+        let rel = Relation::from_tuples("R", 2, vec![[1u64, 7], [1, 8], [2, 7]]).unwrap();
+        let col0 = frequency_histogram(&rel, 0);
+        assert_eq!(col0.get(&1), Some(&2));
+        assert_eq!(col0.get(&2), Some(&1));
+        let col1 = frequency_histogram(&rel, 1);
+        assert_eq!(col1.get(&7), Some(&2));
+        assert_eq!(col1.len(), 2);
+    }
+
+    #[test]
+    fn attribute_skew_covers_any_column() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let rel = heavy_hitter_relation("H", 10_000, 1000, 0.5, &mut rng);
+        // The first column carries the heavy hitter; the second is (near-)
+        // uniform, so its skew is far smaller.
+        assert!(attribute_skew(&rel, 0) > 10.0 * attribute_skew(&rel, 1));
+        assert_eq!(attribute_skew(&rel, 0), first_attribute_skew(&rel));
+    }
+
+    #[test]
+    fn heavy_hitter_database_is_deterministic_and_skewed() {
+        let q = families::chain(2);
+        let a = heavy_hitter_database(&q, 2000, 1500, 0.4, 11);
+        let b = heavy_hitter_database(&q, 2000, 1500, 0.4, 11);
+        assert_eq!(a, b);
+        assert_eq!(a.num_relations(), 2);
+        for rel in a.relations() {
+            assert!(first_attribute_skew(rel) > 10.0, "every relation carries a heavy hitter");
+        }
     }
 }

@@ -1,5 +1,7 @@
 //! Communication statistics collected by the simulator.
 
+use std::fmt;
+
 use serde::Serialize;
 
 use mpc_storage::Relation;
@@ -73,6 +75,34 @@ impl RunResult {
     pub fn total_bytes(&self) -> u64 {
         self.rounds.iter().map(|r| r.total_bytes_received).sum()
     }
+
+    /// The worst max/mean balance ratio over all rounds (1.0 for an empty
+    /// run — perfectly balanced by convention).
+    pub fn max_balance_ratio(&self) -> f64 {
+        self.rounds.iter().map(|r| r.balance_ratio).fold(1.0, f64::max)
+    }
+
+    /// One-line human-readable digest of the run: round count, worst
+    /// per-server load, replication, balance and the budget verdict. The
+    /// experiment binaries print this instead of each hand-formatting the
+    /// same fields.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} round(s), {} answers, max load {} B, replication {:.2}, balance {:.2}, {}",
+            self.num_rounds(),
+            self.output.len(),
+            self.max_load_bytes(),
+            self.max_replication_rate(),
+            self.max_balance_ratio(),
+            if self.within_budget() { "within budget" } else { "OVER BUDGET" }
+        )
+    }
+}
+
+impl fmt::Display for RunResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.summary())
+    }
 }
 
 #[cfg(test)]
@@ -106,6 +136,29 @@ mod tests {
         assert!(!result.within_budget());
         assert_eq!(result.total_bytes(), 1400);
         assert!((result.max_replication_rate() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_and_display_agree() {
+        let result = RunResult {
+            output: Relation::empty("q", 2),
+            rounds: vec![round(1, 100, 800, 128), round(2, 200, 600, 128)],
+            per_server_output: vec![1, 2, 3],
+            input_bytes: 1000,
+        };
+        let s = result.summary();
+        assert_eq!(s, result.to_string());
+        assert!(s.contains("2 round(s)"));
+        assert!(s.contains("max load 200 B"));
+        assert!(s.contains("OVER BUDGET"));
+        assert_eq!(result.max_balance_ratio(), 1.0);
+        let ok = RunResult {
+            output: Relation::empty("q", 1),
+            rounds: vec![round(1, 100, 800, 128)],
+            per_server_output: vec![],
+            input_bytes: 1000,
+        };
+        assert!(ok.summary().contains("within budget"));
     }
 
     #[test]

@@ -1,0 +1,277 @@
+//! Heavy-hitter detection (Beame et al. 2014, "Skew in Parallel Query
+//! Processing", Section 3).
+//!
+//! The HyperCube load guarantee `O(n / p^{1/τ*})` assumes skew-free
+//! inputs: every value of a partitioned variable `x` occurs `O(n / p_x)`
+//! times, so hashing `x` into `p_x` buckets balances. A value that occurs
+//! **more** often than `n / p_x` necessarily overloads the bucket it hashes
+//! to, no matter how good the hash function is — such values are the
+//! *heavy hitters* of `x`, and they are exactly the values the detector
+//! reports. The residual plans of [`crate::residual`] then route them
+//! around the grid.
+//!
+//! Because the threshold is `n_R / p_x`, a variable with share 1 (not
+//! partitioned by HyperCube) can never have heavy hitters: skew on an
+//! unpartitioned column is invisible to the algorithm. Detection is a
+//! statistics pass over the database — the resulting sets are baked into
+//! the routing function, which therefore stays a pure function of the
+//! tuple as the tuple-based MPC model requires.
+
+use std::collections::BTreeSet;
+
+use mpc_core::shares::ShareAllocation;
+use mpc_cq::{Query, VarId};
+use mpc_data::skew::frequency_histogram;
+use mpc_storage::Database;
+
+use crate::Result;
+
+/// Tuning knobs of the detector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeavyHitterPolicy {
+    /// Multiplier on the `n_R / p_x` frequency threshold: values are heavy
+    /// when their frequency exceeds `scale · n_R / p_x`. Values below 1
+    /// detect more aggressively, values above 1 more conservatively.
+    pub scale: f64,
+}
+
+impl Default for HeavyHitterPolicy {
+    fn default() -> Self {
+        HeavyHitterPolicy { scale: 1.0 }
+    }
+}
+
+impl HeavyHitterPolicy {
+    /// A policy with the given threshold multiplier.
+    pub fn with_scale(scale: f64) -> Self {
+        HeavyHitterPolicy { scale }
+    }
+
+    /// The frequency above which a value of a column with `len` tuples is
+    /// heavy, for a variable with HyperCube share `share`.
+    pub fn threshold(&self, len: usize, share: usize) -> f64 {
+        self.scale * len as f64 / share as f64
+    }
+}
+
+/// The detected heavy values, per query variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeavyHitters {
+    /// `per_var[v]` = the heavy values of variable `VarId(v)`.
+    per_var: Vec<BTreeSet<u64>>,
+    /// Worst ratio `frequency / threshold` observed per variable (1.0 when
+    /// nothing exceeded the threshold); used to rank variables when the
+    /// plan set must drop some to fit `2^h ≤ p`.
+    severity: Vec<f64>,
+}
+
+impl HeavyHitters {
+    /// No heavy values for any of `k` variables.
+    pub fn none(k: usize) -> Self {
+        HeavyHitters { per_var: vec![BTreeSet::new(); k], severity: vec![1.0; k] }
+    }
+
+    /// Number of query variables covered.
+    pub fn num_vars(&self) -> usize {
+        self.per_var.len()
+    }
+
+    /// Is `value` heavy for variable `v`?
+    pub fn is_heavy(&self, v: VarId, value: u64) -> bool {
+        self.per_var.get(v.0).is_some_and(|s| s.contains(&value))
+    }
+
+    /// The heavy values of a variable.
+    pub fn values(&self, v: VarId) -> &BTreeSet<u64> {
+        &self.per_var[v.0]
+    }
+
+    /// The variables with at least one heavy value, in `VarId` order.
+    pub fn heavy_vars(&self) -> Vec<VarId> {
+        (0..self.per_var.len()).filter(|&i| !self.per_var[i].is_empty()).map(VarId).collect()
+    }
+
+    /// Worst observed `frequency / threshold` ratio for a variable.
+    pub fn severity(&self, v: VarId) -> f64 {
+        self.severity.get(v.0).copied().unwrap_or(1.0)
+    }
+
+    /// Total number of heavy (variable, value) pairs.
+    pub fn num_heavy_values(&self) -> usize {
+        self.per_var.iter().map(BTreeSet::len).sum()
+    }
+
+    /// True when no variable has heavy values (skew-free as far as the
+    /// detector is concerned).
+    pub fn is_empty(&self) -> bool {
+        self.per_var.iter().all(BTreeSet::is_empty)
+    }
+
+    /// A copy with only the listed variables' heavy sets retained; used
+    /// when the plan set cannot afford a residual plan for every subset.
+    pub fn restricted_to(&self, keep: &BTreeSet<VarId>) -> Self {
+        let per_var =
+            (0..self.per_var.len())
+                .map(|i| {
+                    if keep.contains(&VarId(i)) {
+                        self.per_var[i].clone()
+                    } else {
+                        BTreeSet::new()
+                    }
+                })
+                .collect();
+        HeavyHitters { per_var, severity: self.severity.clone() }
+    }
+
+    /// Record a heavy value (used by the detector and by tests).
+    pub fn insert(&mut self, v: VarId, value: u64, severity: f64) {
+        self.per_var[v.0].insert(value);
+        if severity > self.severity[v.0] {
+            self.severity[v.0] = severity;
+        }
+    }
+}
+
+/// Scans a database and classifies values as heavy per query variable.
+#[derive(Debug, Clone, Default)]
+pub struct HeavyHitterDetector {
+    policy: HeavyHitterPolicy,
+}
+
+impl HeavyHitterDetector {
+    /// A detector with the given policy.
+    pub fn new(policy: HeavyHitterPolicy) -> Self {
+        HeavyHitterDetector { policy }
+    }
+
+    /// The policy in use.
+    pub fn policy(&self) -> &HeavyHitterPolicy {
+        &self.policy
+    }
+
+    /// Detect the heavy hitters of `db` with respect to the share
+    /// allocation `alloc` (normally [`ShareAllocation::optimal`] for the
+    /// query): a value of variable `x` is heavy when its frequency in
+    /// *some* column holding `x` exceeds `scale · n_R / p_x`. Variables
+    /// with share 1 are skipped (hashing does not partition them), as are
+    /// atoms whose relation is absent from the database.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; the `Result` reserves room for statistics
+    /// sources that can fail (samples, sketches).
+    pub fn detect(
+        &self,
+        q: &Query,
+        db: &Database,
+        alloc: &ShareAllocation,
+    ) -> Result<HeavyHitters> {
+        let mut heavy = HeavyHitters::none(q.num_vars());
+        for atom in q.atoms() {
+            let Ok(rel) = db.relation(&atom.name) else {
+                continue;
+            };
+            if rel.is_empty() {
+                continue;
+            }
+            for (pos, var) in atom.vars.iter().enumerate() {
+                let share = alloc.share(*var);
+                if share <= 1 {
+                    continue;
+                }
+                let threshold = self.policy.threshold(rel.len(), share);
+                if threshold <= 0.0 {
+                    continue;
+                }
+                for (value, count) in frequency_histogram(rel, pos) {
+                    if count as f64 > threshold {
+                        heavy.insert(*var, value, count as f64 / threshold);
+                    }
+                }
+            }
+        }
+        Ok(heavy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_cq::families;
+    use mpc_data::matching_database;
+    use mpc_data::skew::{heavy_hitter_database, zipf_database};
+
+    fn detect(q: &Query, db: &Database, p: usize) -> HeavyHitters {
+        let alloc = ShareAllocation::optimal(q, p).unwrap();
+        HeavyHitterDetector::default().detect(q, db, &alloc).unwrap()
+    }
+
+    #[test]
+    fn matchings_have_no_heavy_hitters() {
+        let q = families::chain(2);
+        let db = matching_database(&q, 2000, 5);
+        let heavy = detect(&q, &db, 32);
+        assert!(heavy.is_empty());
+        assert_eq!(heavy.num_heavy_values(), 0);
+    }
+
+    #[test]
+    fn heavy_hitter_value_is_found_on_the_join_variable() {
+        let q = families::chain(2);
+        let db = heavy_hitter_database(&q, 2000, 2000, 0.5, 7);
+        let heavy = detect(&q, &db, 32);
+        // Chain(2) puts the whole hypercube on x1 (S2's first column); the
+        // generator plants value 1 there.
+        let x1 = q.var_id("x1").unwrap();
+        assert!(heavy.is_heavy(x1, 1));
+        assert_eq!(heavy.heavy_vars(), vec![x1]);
+        assert!(heavy.severity(x1) > 2.0, "value 1 holds half the relation");
+        // x0 and x2 have share 1: skew there is invisible by design.
+        assert!(!heavy.is_heavy(q.var_id("x0").unwrap(), 1));
+    }
+
+    #[test]
+    fn zipf_heavy_values_are_a_prefix_of_the_key_space() {
+        let q = families::chain(2);
+        let db = zipf_database(&q, 6000, 6000, 1.2, 5);
+        let heavy = detect(&q, &db, 32);
+        let x1 = q.var_id("x1").unwrap();
+        let values = heavy.values(x1);
+        assert!(!values.is_empty(), "zipf(1.2) exceeds the n/32 threshold");
+        assert!(values.len() < 20, "only the head of the distribution is heavy");
+        assert!(values.contains(&1), "the most frequent key is heavy");
+    }
+
+    #[test]
+    fn scale_controls_sensitivity() {
+        let q = families::chain(2);
+        let db = zipf_database(&q, 6000, 6000, 1.0, 5);
+        let alloc = ShareAllocation::optimal(&q, 32).unwrap();
+        let strict = HeavyHitterDetector::new(HeavyHitterPolicy::with_scale(4.0))
+            .detect(&q, &db, &alloc)
+            .unwrap();
+        let lax = HeavyHitterDetector::new(HeavyHitterPolicy::with_scale(0.25))
+            .detect(&q, &db, &alloc)
+            .unwrap();
+        assert!(lax.num_heavy_values() > strict.num_heavy_values());
+    }
+
+    #[test]
+    fn restriction_drops_other_variables() {
+        let q = families::cycle(3);
+        let db = heavy_hitter_database(&q, 2000, 2000, 0.5, 3);
+        let heavy = detect(&q, &db, 27);
+        assert!(heavy.heavy_vars().len() >= 2, "every relation plants a heavy first column");
+        let keep: BTreeSet<VarId> = [heavy.heavy_vars()[0]].into_iter().collect();
+        let restricted = heavy.restricted_to(&keep);
+        assert_eq!(restricted.heavy_vars(), vec![heavy.heavy_vars()[0]]);
+    }
+
+    #[test]
+    fn missing_relations_are_skipped() {
+        let q = families::chain(2);
+        let db = Database::new(100);
+        let heavy = detect(&q, &db, 16);
+        assert!(heavy.is_empty());
+    }
+}

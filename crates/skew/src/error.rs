@@ -1,0 +1,73 @@
+//! Error type for the skew crate.
+
+use std::fmt;
+
+/// Errors raised by heavy-hitter detection, residual planning and the
+/// skew-resilient program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SkewError {
+    /// Propagated query error.
+    Query(String),
+    /// Propagated core (shares/LP) error.
+    Core(String),
+    /// Propagated storage error.
+    Storage(String),
+    /// Propagated simulator error.
+    Sim(String),
+    /// A plan set was requested with inconsistent parameters.
+    InvalidPlan(String),
+}
+
+impl fmt::Display for SkewError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SkewError::Query(m) => write!(f, "query error: {m}"),
+            SkewError::Core(m) => write!(f, "core error: {m}"),
+            SkewError::Storage(m) => write!(f, "storage error: {m}"),
+            SkewError::Sim(m) => write!(f, "simulation error: {m}"),
+            SkewError::InvalidPlan(m) => write!(f, "invalid plan: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SkewError {}
+
+impl From<mpc_cq::CqError> for SkewError {
+    fn from(e: mpc_cq::CqError) -> Self {
+        SkewError::Query(e.to_string())
+    }
+}
+
+impl From<mpc_core::CoreError> for SkewError {
+    fn from(e: mpc_core::CoreError) -> Self {
+        SkewError::Core(e.to_string())
+    }
+}
+
+impl From<mpc_storage::StorageError> for SkewError {
+    fn from(e: mpc_storage::StorageError) -> Self {
+        SkewError::Storage(e.to_string())
+    }
+}
+
+impl From<mpc_sim::SimError> for SkewError {
+    fn from(e: mpc_sim::SimError) -> Self {
+        SkewError::Sim(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: SkewError = mpc_cq::CqError::EmptyQuery.into();
+        assert!(matches!(e, SkewError::Query(_)));
+        assert!(e.to_string().contains("query"));
+        let e: SkewError = mpc_core::CoreError::InvalidPlan("x".to_string()).into();
+        assert!(matches!(e, SkewError::Core(_)));
+        let e = SkewError::InvalidPlan("p too small".to_string());
+        assert!(e.to_string().contains("p too small"));
+    }
+}

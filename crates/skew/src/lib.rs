@@ -1,0 +1,65 @@
+//! **mpc-skew** — skew-resilient HyperCube processing, after *Beame,
+//! Koutris & Suciu, "Skew in Parallel Query Processing" (2014,
+//! arXiv:1401.1872)*.
+//!
+//! The HyperCube load guarantee of the PODS 2013 paper —
+//! `O(n / p^{1/τ*})` per server — is stated for *skew-free* (matching)
+//! databases. A single value occurring `ω(n / p_x)` times in a partitioned
+//! column defeats it: every tuple carrying that value hashes to the same
+//! coordinate, and one server drowns (the `exp_skew_ablation` experiment
+//! measures exactly this). The 2014 follow-up recovers near-optimal load
+//! when the heavy values are *known*, by processing each heavy
+//! configuration with its own **residual query plan**. This crate
+//! implements that machinery on top of the workspace simulator:
+//!
+//! * [`detector`] — [`HeavyHitterDetector`]: scans a database and, per
+//!   query variable `x`, classifies values as heavy when their frequency
+//!   exceeds `scale · n_R / p_x` (the share-relative threshold beyond
+//!   which hashing *cannot* balance), with the tuning in
+//!   [`HeavyHitterPolicy`].
+//! * [`residual`] — [`ResidualPlanSet`]: one plan per subset `H` of the
+//!   heavy-capable variables. Each plan owns a disjoint group of servers
+//!   (sized proportionally to the tuple mass it attracts), computes a
+//!   [`mpc_core::shares::ShareAllocation`] for its residual query
+//!   (degenerate variables get share 1) and refines it with a
+//!   cardinality-aware greedy search.
+//! * [`program`] — [`SkewResilientProgram`]: an
+//!   [`mpc_sim::MpcProgram`] that routes light tuples through the ordinary
+//!   HyperCube grid and heavy tuples to their residual plans' servers, so
+//!   [`mpc_sim::Cluster::run`] executes it unchanged. [`SkewResilient`] is
+//!   the one-call runner mirroring [`mpc_core::hypercube::HyperCube`].
+//!
+//! # Quick start
+//!
+//! ```
+//! use mpc_skew::SkewResilient;
+//! use mpc_sim::MpcConfig;
+//!
+//! // A chain join whose join variable carries a massive heavy hitter:
+//! // vanilla HyperCube piles half of S2 onto one server.
+//! let q = mpc_cq::families::chain(2);
+//! let db = mpc_data::skew::heavy_hitter_database(&q, 2000, 2000, 0.5, 7);
+//!
+//! let outcome = SkewResilient::run(&q, &db, &MpcConfig::new(32, 0.0)).unwrap();
+//! // The detector found the heavy value and split off a residual plan…
+//! assert_eq!(outcome.num_plans(), 2);
+//! // …and the output still equals the sequential join.
+//! let truth = mpc_storage::join::evaluate(&q, &db).unwrap();
+//! assert!(outcome.result.output.same_tuples(&truth));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod detector;
+pub mod error;
+pub mod program;
+pub mod residual;
+
+pub use detector::{HeavyHitterDetector, HeavyHitterPolicy, HeavyHitters};
+pub use error::SkewError;
+pub use program::{SkewResilient, SkewResilientOutcome, SkewResilientProgram};
+pub use residual::{ResidualPlan, ResidualPlanSet};
+
+/// Convenience result alias used across this crate.
+pub type Result<T> = std::result::Result<T, SkewError>;

@@ -35,6 +35,7 @@
 //! | [`data`] | `mpc-data` | matching databases, skewed data, layered graphs |
 //! | [`sim`] | `mpc-sim` | the MPC(ε) cluster simulator and program trait |
 //! | [`core`] | `mpc-core` | HyperCube, shares, space exponents, multi-round plans and bounds |
+//! | [`skew`] | `mpc-skew` | heavy-hitter detection and skew-resilient residual plans |
 //! | [`graph`] | `mpc-graph` | connected components on the MPC model |
 //!
 //! ## Quick start
@@ -66,6 +67,7 @@ pub use mpc_data as data;
 pub use mpc_graph as graph;
 pub use mpc_lp as lp;
 pub use mpc_sim as sim;
+pub use mpc_skew as skew;
 pub use mpc_storage as storage;
 
 /// The paper's algorithms and bounds (re-export of `mpc-core`).
@@ -83,6 +85,7 @@ pub mod prelude {
     pub use mpc_data::matching_database;
     pub use mpc_lp::Rational;
     pub use mpc_sim::{Cluster, MpcConfig};
+    pub use mpc_skew::{HeavyHitterPolicy, SkewResilient};
     pub use mpc_storage::{Database, Relation, Tuple};
 }
 
@@ -110,6 +113,8 @@ mod tests {
             _: &Database,
             _: &Relation,
             _: &Tuple,
+            _: &SkewResilient,
+            _: &HeavyHitterPolicy,
         ) {
         }
         let _parse: fn(&str) -> Result<Query, crate::cq::CqError> = parse_query;
