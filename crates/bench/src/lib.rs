@@ -105,6 +105,82 @@ pub fn maybe_write_json<T: Serialize>(experiment: &str, rows: &T) {
     }
 }
 
+/// Parse `--<name> <usize>` (default `default`): used by the sweep flags
+/// of the table/figure binaries (e.g. `--k 24`).
+pub fn arg_usize(name: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == name) {
+        if let Some(v) = args.get(pos + 1).and_then(|s| s.parse::<usize>().ok()) {
+            return v;
+        }
+    }
+    default
+}
+
+/// Cross-check every LP solver path on `q`: the dense tableau oracle, the
+/// sparse revised simplex, and (when the family is recognised) the
+/// closed form must agree **exactly** — rational equality of `τ*` and of
+/// the edge-cover optimum, plus feasibility of every returned solution.
+///
+/// Returns a description of the first disagreement; the experiment
+/// binaries treat any `Err` as fatal (CI smoke runs fail on it).
+pub fn verify_lp_solver_agreement(q: &mpc_cq::Query) -> Result<(), String> {
+    use mpc_lp::QueryLps;
+    let dense = QueryLps::solve_dense(q).map_err(|e| format!("dense oracle failed: {e}"))?;
+    let sparse = QueryLps::solve_sparse(q).map_err(|e| format!("sparse solver failed: {e}"))?;
+    if dense.covering_number() != sparse.covering_number() {
+        return Err(format!(
+            "τ* disagreement on {}: dense {} vs sparse {}",
+            q.name(),
+            dense.covering_number(),
+            sparse.covering_number()
+        ));
+    }
+    if dense.edge_cover().total() != sparse.edge_cover().total() {
+        return Err(format!(
+            "edge-cover disagreement on {}: dense {} vs sparse {}",
+            q.name(),
+            dense.edge_cover().total(),
+            sparse.edge_cover().total()
+        ));
+    }
+    for (label, lps) in [("dense", &dense), ("sparse", &sparse)] {
+        if !lps.vertex_cover().is_valid_for(q)
+            || !lps.edge_packing().is_valid_for(q)
+            || !lps.edge_cover().is_valid_for(q)
+            || lps.vertex_cover().total() != lps.edge_packing().total()
+        {
+            return Err(format!("{label} solution of {} fails validation", q.name()));
+        }
+    }
+    if let Some((family, closed)) = mpc_lp::families::closed_form(q) {
+        if closed.covering_number() != dense.covering_number()
+            || closed.edge_cover().total() != dense.edge_cover().total()
+        {
+            return Err(format!(
+                "closed form {family} disagrees on {}: τ* {} vs {}",
+                q.name(),
+                closed.covering_number(),
+                dense.covering_number()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Compress long weight vectors for text tables (uniform vectors collapse
+/// to `(w ×n)`, very long ones are truncated); JSON artefacts keep the
+/// full vectors.
+pub fn fmt_weights(weights: &[String]) -> String {
+    if weights.len() > 8 && weights.iter().all(|w| w == &weights[0]) {
+        return format!("({} ×{})", weights[0], weights.len());
+    }
+    if weights.len() > 16 {
+        return format!("({}, … {} total)", weights[..6].join(", "), weights.len());
+    }
+    format!("({})", weights.join(", "))
+}
+
 /// Parse `--scale <f64>` (default 1.0): all experiment binaries accept it
 /// to shrink or grow the workload sizes.
 pub fn scale_factor() -> f64 {

@@ -58,6 +58,9 @@ pub struct QueryAnalysis {
     /// Exponent `e` such that the expected answer size over matching
     /// databases is `n^e` (Lemma 3.4: `e = 1 + χ` for connected queries).
     pub expected_answer_exponent: i64,
+    /// Which LP-solver layer produced the triple: `"cache-hit"`,
+    /// `"closed-form"` or `"simplex"` (see `mpc_lp::SolverPath`).
+    pub lp_solver_path: String,
     #[serde(skip)]
     query: Query,
 }
@@ -65,11 +68,17 @@ pub struct QueryAnalysis {
 impl QueryAnalysis {
     /// Analyse a query.
     ///
+    /// The LP triple is obtained through the layered solver of
+    /// [`QueryLps::solve`] (closed-form families → memoising cache →
+    /// sparse simplex); [`QueryAnalysis::lp_solver_path`] records which
+    /// layer answered, so repeated analyses of isomorphic non-family
+    /// queries are cache hits.
+    ///
     /// # Errors
     ///
     /// Propagates LP errors.
     pub fn analyze(q: &Query) -> Result<Self> {
-        let lps = QueryLps::solve(q)?;
+        let (lps, path) = QueryLps::solve_traced(q)?;
         let tau = lps.covering_number();
         let space_exponent = Rational::ONE - tau.recip()?;
         let share_exponents = lps
@@ -95,6 +104,7 @@ impl QueryAnalysis {
             share_exponents,
             expected_answer_exponent: q.num_vars() as i64 + q.num_atoms() as i64
                 - q.total_arity() as i64,
+            lp_solver_path: path.to_string(),
             query: q.clone(),
         })
     }
@@ -213,6 +223,24 @@ mod tests {
         assert!(s.contains("C3"));
         assert!(s.contains("3/2"));
         assert!(s.contains("1/3"));
+    }
+
+    #[test]
+    fn solver_path_is_recorded() {
+        // Recognised families always resolve via the closed form (cheaper
+        // than even a cache hit).
+        let a = QueryAnalysis::analyze(&families::cycle(11)).unwrap();
+        assert_eq!(a.lp_solver_path, "closed-form");
+        // The witness query is no family: the first solve in the process
+        // is simplex, every later one (any test, any thread) a cache hit.
+        let w = QueryAnalysis::analyze(&families::witness_query()).unwrap();
+        assert!(
+            w.lp_solver_path == "simplex" || w.lp_solver_path == "cache-hit",
+            "got {}",
+            w.lp_solver_path
+        );
+        let w2 = QueryAnalysis::analyze(&families::witness_query()).unwrap();
+        assert_eq!(w2.lp_solver_path, "cache-hit");
     }
 
     #[test]

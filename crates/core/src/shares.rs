@@ -18,8 +18,8 @@
 use serde::Serialize;
 
 use mpc_cq::{Query, VarId};
-use mpc_lp::cover::{solve_vertex_cover, VertexCover};
-use mpc_lp::Rational;
+use mpc_lp::cover::VertexCover;
+use mpc_lp::{QueryLps, Rational};
 
 use crate::error::CoreError;
 use crate::Result;
@@ -62,7 +62,7 @@ impl ShareAllocation {
     ///
     /// Propagates LP errors; also rejects `p == 0`.
     pub fn optimal(q: &Query, p: usize) -> Result<Self> {
-        let cover = solve_vertex_cover(q).map_err(CoreError::from)?;
+        let cover = optimal_cover(q)?;
         Self::from_cover(q, &cover, p)
     }
 
@@ -118,7 +118,7 @@ impl ShareAllocation {
         if !one_minus_epsilon.is_positive() {
             return Err(CoreError::InvalidPlan("1 − ε must be positive".to_string()));
         }
-        let cover = solve_vertex_cover(q).map_err(CoreError::from)?;
+        let cover = optimal_cover(q)?;
         let exponents: Vec<Rational> = cover
             .weights()
             .iter()
@@ -197,6 +197,14 @@ impl ShareAllocation {
     pub fn consistent_cells(&self, partial: &[Option<usize>]) -> Vec<usize> {
         consistent_cells(&self.shares, partial)
     }
+}
+
+/// An optimal fractional vertex cover through the layered LP solver
+/// (closed form → cache → sparse simplex), so repeated allocations over
+/// isomorphic queries — notably the per-heavy-subset residual covers of
+/// the skew-resilient planner — reuse one solve.
+fn optimal_cover(q: &Query) -> Result<VertexCover> {
+    Ok(QueryLps::solve(q).map_err(CoreError::from)?.vertex_cover().clone())
 }
 
 /// Enumerate the cells of a mixed-radix grid (radix `shares[i]` in

@@ -11,8 +11,10 @@
 //! plus [`witness_query`], the query of Proposition 3.12 used for the
 //! JOIN-WITNESS lower bound.
 
+use std::collections::BTreeSet;
+
 use crate::error::CqError;
-use crate::query::Query;
+use crate::query::{AtomId, Query, VarId};
 use crate::Result;
 
 /// The chain (path) query `L_k(x0,…,xk) = S1(x0,x1), …, Sk(x_{k−1},x_k)`.
@@ -134,6 +136,243 @@ pub fn triangle() -> Query {
     cycle(3)
 }
 
+/// The outcome of [`recognize`]: the query is one of the paper's running
+/// families, *up to variable and atom renaming*, together with the role
+/// data a closed-form LP solution needs (path orders, centres, arms).
+///
+/// Recognition is purely structural over the hypergraph of *distinct*
+/// variable sets, which is exactly the structure the cover/packing LPs
+/// depend on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecognizedFamily {
+    /// A path `L_k`: `var_order` walks the path (`k+1` variables),
+    /// `atom_order[j]` is the atom joining `var_order[j]` and
+    /// `var_order[j+1]`.
+    Chain {
+        /// Path length (number of atoms).
+        k: usize,
+        /// The variables in path order.
+        var_order: Vec<VarId>,
+        /// The atoms in path order.
+        atom_order: Vec<AtomId>,
+    },
+    /// A cycle `C_k` (`k ≥ 2`; `C_2` is the doubled edge). All optimal LP
+    /// solutions used downstream are uniform, so no role data is needed.
+    Cycle {
+        /// Cycle length (number of atoms = number of variables).
+        k: usize,
+    },
+    /// A star `T_k`: `center` occurs in every atom, every other variable in
+    /// exactly one.
+    Star {
+        /// Number of rays.
+        k: usize,
+        /// The centre variable.
+        center: VarId,
+    },
+    /// The complete `m`-uniform hypergraph `B_{k,m}`: every `m`-subset of
+    /// the `k` variables occurs as exactly one atom. Uniform LP solutions,
+    /// so no role data is needed.
+    Binomial {
+        /// Number of variables.
+        k: usize,
+        /// Atom arity (subset size).
+        m: usize,
+    },
+    /// The spoke query `SP_k`: a centre `z` with `k` arms
+    /// `R_i(z, x_i), S_i(x_i, y_i)`. For each arm `i`, `arms[i]` is
+    /// `(R_i, S_i, x_i, y_i)`.
+    Spoke {
+        /// Number of arms.
+        k: usize,
+        /// The hub variable `z`.
+        center: VarId,
+        /// Per-arm `(R_i, S_i, x_i, y_i)`.
+        arms: Vec<(AtomId, AtomId, VarId, VarId)>,
+    },
+}
+
+impl RecognizedFamily {
+    /// A display name in the paper's notation, e.g. `C5`, `L3`, `B4_2`.
+    pub fn display_name(&self) -> String {
+        match self {
+            RecognizedFamily::Chain { k, .. } => format!("L{k}"),
+            RecognizedFamily::Cycle { k } => format!("C{k}"),
+            RecognizedFamily::Star { k, .. } => format!("T{k}"),
+            RecognizedFamily::Binomial { k, m } => format!("B{k}_{m}"),
+            RecognizedFamily::Spoke { k, .. } => format!("SP{k}"),
+        }
+    }
+}
+
+/// Classify `q` as one of the running families up to renaming, returning
+/// the role data closed-form LP solutions need, or `None` when the query
+/// matches no family.
+///
+/// The checks are exact (no heuristics): a `Some` answer certifies the
+/// family structure. Precedence on overlaps is chain/star before spoke
+/// (`SP_1 ≅ L_2`, `SP_2 ≅ L_4`) and cycle before binomial (`C_3 = B_{3,2}`);
+/// either classification would yield an optimal closed form.
+pub fn recognize(q: &Query) -> Option<RecognizedFamily> {
+    let edges: Vec<BTreeSet<VarId>> = q.atoms().iter().map(|a| a.distinct_vars()).collect();
+    let mut degree = vec![0usize; q.num_vars()];
+    for e in &edges {
+        for v in e {
+            degree[v.0] += 1;
+        }
+    }
+    try_star(q, &edges, &degree)
+        .or_else(|| try_chain(q, &edges, &degree))
+        .or_else(|| try_cycle(q, &edges, &degree))
+        .or_else(|| try_spoke(q, &edges, &degree))
+        .or_else(|| try_binomial(q, &edges, &degree))
+}
+
+fn all_binary(edges: &[BTreeSet<VarId>]) -> bool {
+    edges.iter().all(|e| e.len() == 2)
+}
+
+fn try_star(q: &Query, edges: &[BTreeSet<VarId>], degree: &[usize]) -> Option<RecognizedFamily> {
+    let l = edges.len();
+    if !all_binary(edges) || q.num_vars() != l + 1 {
+        return None;
+    }
+    let center = VarId(degree.iter().position(|&d| d == l)?);
+    let leaves_ok = degree.iter().enumerate().all(|(v, &d)| VarId(v) == center || d == 1);
+    let center_everywhere = edges.iter().all(|e| e.contains(&center));
+    if leaves_ok && center_everywhere {
+        Some(RecognizedFamily::Star { k: l, center })
+    } else {
+        None
+    }
+}
+
+fn try_chain(q: &Query, edges: &[BTreeSet<VarId>], degree: &[usize]) -> Option<RecognizedFamily> {
+    let l = edges.len();
+    if !all_binary(edges) || q.num_vars() != l + 1 {
+        return None;
+    }
+    let endpoints: Vec<VarId> =
+        degree.iter().enumerate().filter(|(_, &d)| d == 1).map(|(v, _)| VarId(v)).collect();
+    if endpoints.len() != 2 || degree.iter().any(|&d| d == 0 || d > 2) {
+        return None;
+    }
+    // Walk the path from the smaller endpoint.
+    let start = *endpoints.iter().min().expect("two endpoints");
+    let mut var_order = vec![start];
+    let mut atom_order = Vec::with_capacity(l);
+    let mut used = vec![false; l];
+    let mut current = start;
+    for _ in 0..l {
+        let (a, _) = edges.iter().enumerate().find(|(a, e)| !used[*a] && e.contains(&current))?;
+        used[a] = true;
+        let next = *edges[a].iter().find(|v| **v != current)?;
+        atom_order.push(AtomId(a));
+        var_order.push(next);
+        current = next;
+    }
+    // A walk that consumed every atom and every variable is a path.
+    if var_order.len() == q.num_vars() {
+        Some(RecognizedFamily::Chain { k: l, var_order, atom_order })
+    } else {
+        None
+    }
+}
+
+fn try_cycle(q: &Query, edges: &[BTreeSet<VarId>], degree: &[usize]) -> Option<RecognizedFamily> {
+    let l = edges.len();
+    if l < 2 || !all_binary(edges) || q.num_vars() != l {
+        return None;
+    }
+    if degree.iter().all(|&d| d == 2) && q.is_connected() {
+        Some(RecognizedFamily::Cycle { k: l })
+    } else {
+        None
+    }
+}
+
+fn try_spoke(q: &Query, edges: &[BTreeSet<VarId>], degree: &[usize]) -> Option<RecognizedFamily> {
+    let l = edges.len();
+    if !all_binary(edges) || l % 2 != 0 || l == 0 {
+        return None;
+    }
+    let k = l / 2;
+    if q.num_vars() != 2 * k + 1 {
+        return None;
+    }
+    let center = VarId(degree.iter().position(|&d| d == k)?);
+    // k middles of degree 2, k tips of degree 1 (k ≥ 3 keeps the centre
+    // distinct from the middles; smaller spokes are chains, caught earlier).
+    if degree[center.0] != k {
+        return None;
+    }
+    let mut arms = Vec::with_capacity(k);
+    let mut seen_middle: BTreeSet<VarId> = BTreeSet::new();
+    for (a, e) in edges.iter().enumerate() {
+        if !e.contains(&center) {
+            continue;
+        }
+        let x = *e.iter().find(|v| **v != center)?;
+        if degree[x.0] != 2 || !seen_middle.insert(x) {
+            return None;
+        }
+        // The unique other atom of x must pair it with a degree-1 tip.
+        let (s, se) = edges.iter().enumerate().find(|(s, se)| *s != a && se.contains(&x))?;
+        let y = *se.iter().find(|v| **v != x)?;
+        if y == center || degree[y.0] != 1 {
+            return None;
+        }
+        arms.push((AtomId(a), AtomId(s), x, y));
+    }
+    if arms.len() == k {
+        Some(RecognizedFamily::Spoke { k, center, arms })
+    } else {
+        None
+    }
+}
+
+/// `C(k, m)` without overflow; `None` when the value exceeds `cap`.
+fn binomial_coefficient(k: usize, m: usize, cap: u128) -> Option<u128> {
+    if m > k {
+        return Some(0);
+    }
+    let m = m.min(k - m);
+    let mut c: u128 = 1;
+    for i in 0..m {
+        c = c.checked_mul((k - i) as u128)? / (i as u128 + 1);
+        if c > cap {
+            return None;
+        }
+    }
+    Some(c)
+}
+
+fn try_binomial(
+    q: &Query,
+    edges: &[BTreeSet<VarId>],
+    degree: &[usize],
+) -> Option<RecognizedFamily> {
+    let k = q.num_vars();
+    let m = edges.first()?.len();
+    if m == 0 || edges.iter().any(|e| e.len() != m) {
+        return None;
+    }
+    let expected = binomial_coefficient(k, m, 1_000_000)?;
+    if edges.len() as u128 != expected {
+        return None;
+    }
+    // Distinct m-subsets in the right quantity are *all* m-subsets.
+    let distinct: BTreeSet<&BTreeSet<VarId>> = edges.iter().collect();
+    if distinct.len() != edges.len() {
+        return None;
+    }
+    let per_var = binomial_coefficient(k - 1, m - 1, 1_000_000)?;
+    if degree.iter().any(|&d| d as u128 != per_var) {
+        return None;
+    }
+    Some(RecognizedFamily::Binomial { k, m })
+}
+
 /// All subsets of `{1,…,k}` of the given size, in lexicographic order.
 fn subsets_of_size(k: usize, m: usize) -> Vec<Vec<usize>> {
     let mut out = Vec::new();
@@ -239,6 +478,97 @@ mod tests {
         assert_eq!(subsets_of_size(5, 1).len(), 5);
         assert_eq!(subsets_of_size(5, 5).len(), 1);
         assert_eq!(subsets_of_size(5, 5)[0], vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn recognize_families_up_to_renaming() {
+        // The constructors themselves.
+        assert!(matches!(recognize(&cycle(3)), Some(RecognizedFamily::Cycle { k: 3 })));
+        assert!(matches!(recognize(&cycle(7)), Some(RecognizedFamily::Cycle { k: 7 })));
+        assert!(matches!(recognize(&chain(5)), Some(RecognizedFamily::Chain { k: 5, .. })));
+        assert!(matches!(recognize(&star(4)), Some(RecognizedFamily::Star { k: 4, .. })));
+        assert!(matches!(
+            recognize(&binomial(5, 3).unwrap()),
+            Some(RecognizedFamily::Binomial { k: 5, m: 3 })
+        ));
+        assert!(matches!(recognize(&spoke(3)), Some(RecognizedFamily::Spoke { k: 3, .. })));
+        // Renamed/permuted copies are still recognized.
+        let shuffled_cycle = Query::new(
+            "Z",
+            vec![("A", vec!["b", "c"]), ("B", vec!["a", "b"]), ("C", vec!["c", "a"])],
+        )
+        .unwrap();
+        assert!(matches!(recognize(&shuffled_cycle), Some(RecognizedFamily::Cycle { k: 3 })));
+        let shuffled_chain =
+            Query::new("Z", vec![("A", vec!["m", "n"]), ("B", vec!["p", "m"])]).unwrap();
+        // A 2-chain is also a 2-star around the middle variable; either
+        // classification carries a valid closed form.
+        let got = recognize(&shuffled_chain).unwrap();
+        assert!(matches!(
+            got,
+            RecognizedFamily::Star { k: 2, .. } | RecognizedFamily::Chain { k: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn recognize_roles_are_consistent() {
+        let q = spoke(4);
+        let Some(RecognizedFamily::Spoke { k, center, arms }) = recognize(&q) else {
+            panic!("SP4 must be recognized");
+        };
+        assert_eq!(k, 4);
+        assert_eq!(q.var_name(center).unwrap(), "z");
+        for (r, s, x, y) in arms {
+            let rv = q.vars_of_atom(r).unwrap();
+            assert!(rv.contains(&center) && rv.contains(&x));
+            let sv = q.vars_of_atom(s).unwrap();
+            assert!(sv.contains(&x) && sv.contains(&y));
+        }
+        let q = chain(6);
+        let Some(RecognizedFamily::Chain { k, var_order, atom_order }) = recognize(&q) else {
+            panic!("L6 must be recognized");
+        };
+        assert_eq!(k, 6);
+        assert_eq!(var_order.len(), 7);
+        for (j, a) in atom_order.iter().enumerate() {
+            let vars = q.vars_of_atom(*a).unwrap();
+            assert!(vars.contains(&var_order[j]) && vars.contains(&var_order[j + 1]));
+        }
+    }
+
+    #[test]
+    fn recognize_rejects_non_family_queries() {
+        assert_eq!(recognize(&witness_query()), None);
+        // A triangle with a pendant edge.
+        let q = Query::new(
+            "q",
+            vec![
+                ("S1", vec!["a", "b"]),
+                ("S2", vec!["b", "c"]),
+                ("S3", vec!["c", "a"]),
+                ("S4", vec!["c", "d"]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(recognize(&q), None);
+        // Two disjoint paths: connected-family checks must all fail.
+        let q = Query::new("q", vec![("R", vec!["x", "y"]), ("S", vec!["u", "v"])]).unwrap();
+        assert_eq!(recognize(&q), None);
+    }
+
+    #[test]
+    fn recognize_degenerate_shapes() {
+        // A single unary atom is B(1,1); k unary atoms are B(k,1).
+        let q = Query::new("q", vec![("S", vec!["x"])]).unwrap();
+        assert!(matches!(recognize(&q), Some(RecognizedFamily::Binomial { k: 1, m: 1 })));
+        let q = Query::new("q", vec![("S", vec!["x"]), ("T", vec!["y"])]).unwrap();
+        assert!(matches!(recognize(&q), Some(RecognizedFamily::Binomial { k: 2, m: 1 })));
+        // The doubled edge is C2.
+        assert!(matches!(recognize(&cycle(2)), Some(RecognizedFamily::Cycle { k: 2 })));
+        // A repeated-variable atom S(x,x) has the unary edge {x}: B(1,1).
+        let q = Query::new("q", vec![("S", vec!["x", "x"])]).unwrap();
+        assert!(matches!(recognize(&q), Some(RecognizedFamily::Binomial { k: 1, m: 1 })));
+        assert_eq!(recognize(&q).unwrap().display_name(), "B1_1");
     }
 
     #[test]

@@ -11,7 +11,11 @@
 //!   (Section 2.3), contraction `q / M`, radius and diameter of the
 //!   hypergraph, tree-likeness and acyclicity,
 //! * the paper's running query families (`C_k`, `L_k`, `T_k`, `B_{k,m}`,
-//!   `SP_k`, the JOIN-WITNESS query) in [`families`], and
+//!   `SP_k`, the JOIN-WITNESS query) in [`families`], together with
+//!   [`families::recognize`] which classifies an arbitrary query as one of
+//!   them up to renaming (feeding the LP layer's closed-form solver),
+//! * canonical hypergraph signatures ([`signature`]) — the
+//!   isomorphism-aware cache key of the LP layer — and
 //! * a small text [`parser`] for the usual `q(x,y) :- R(x,y), S(y,z)`
 //!   notation.
 //!
@@ -42,10 +46,12 @@ pub mod families;
 pub mod hypergraph;
 pub mod parser;
 pub mod query;
+pub mod signature;
 pub mod structure;
 
 pub use error::CqError;
 pub use query::{Atom, AtomId, Query, VarId};
+pub use signature::{CanonicalForm, QuerySignature};
 
 /// Convenience result alias used across this crate.
 pub type Result<T> = std::result::Result<T, CqError>;

@@ -14,10 +14,13 @@
 //! used for AGM-style output-size bounds and coincides with the packing only
 //! when both are tight (Section 2.3).
 
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
 
 use mpc_cq::{AtomId, Query, VarId};
 
+use crate::cache::LpCache;
 use crate::error::LpError;
 use crate::rational::Rational;
 use crate::simplex::{ConstraintOp, LinearProgram, Objective};
@@ -157,6 +160,12 @@ pub struct EdgeCover {
 }
 
 impl EdgeCover {
+    /// Construct from per-atom weights.
+    pub fn from_weights(weights: Vec<Rational>) -> Result<Self> {
+        let total = Rational::sum(weights.iter())?;
+        Ok(EdgeCover { weights, total })
+    }
+
     /// The weight of an atom.
     pub fn weight(&self, a: AtomId) -> Rational {
         self.weights.get(a.0).copied().unwrap_or(Rational::ZERO)
@@ -196,15 +205,182 @@ pub struct QueryLps {
     edge_cover: EdgeCover,
 }
 
+/// Which of the three solver layers produced a [`QueryLps`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolverPath {
+    /// The triple was transported from the memoising cache (an isomorphic
+    /// query was solved earlier).
+    CacheHit,
+    /// The query was recognised as a known family and the certified
+    /// analytic optimum was returned.
+    ClosedForm,
+    /// The sparse revised simplex solved the LPs.
+    SparseSimplex,
+}
+
+impl fmt::Display for SolverPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverPath::CacheHit => write!(f, "cache-hit"),
+            SolverPath::ClosedForm => write!(f, "closed-form"),
+            SolverPath::SparseSimplex => write!(f, "simplex"),
+        }
+    }
+}
+
 impl QueryLps {
-    /// Solve all three LPs for the query.
+    /// Solve all three LPs for the query, fastest applicable path first:
+    ///
+    /// 1. **closed form** — queries recognised (up to variable/atom
+    ///    renaming) as a cycle `C_k`, chain `L_k`, star `T_k`, binomial
+    ///    `B_{k,m}` or spoke `SP_k` get the certificate-checked analytic
+    ///    optimum from [`crate::families::closed_form`]. This runs first
+    ///    because recognition + certification is `O(nnz)` — cheaper than
+    ///    even a cache hit, whose canonical labelling is what pays for
+    ///    isomorphism-invariance (and is most expensive exactly on these
+    ///    highly symmetric families);
+    /// 2. **cache** — the process-wide [`LpCache::global`] is consulted
+    ///    under the query's *canonical hypergraph signature*
+    ///    ([`mpc_cq::Query::canonical_signature`]): the number of variables
+    ///    plus the canonically-labelled distinct-variable sets of the
+    ///    atoms, so any query isomorphic (modulo renaming) to a previously
+    ///    solved one is answered by transporting the cached weight vectors
+    ///    through the canonical maps;
+    /// 3. **sparse simplex** — everything else is solved exactly by the
+    ///    sparse revised simplex ([`QueryLps::solve_sparse`]) and the
+    ///    result is inserted into the cache before returning.
+    ///
+    /// To **bypass the cache** (e.g. for benchmarking or when memory must
+    /// not grow), call [`QueryLps::solve_uncached`]; to use a private
+    /// cache, call [`QueryLps::solve_with_cache`]; the dense-tableau
+    /// oracle is kept as [`QueryLps::solve_dense`].
     ///
     /// # Errors
     ///
     /// Propagates simplex errors; the cover and packing LPs of a non-empty
     /// query are always feasible and bounded, so errors indicate arithmetic
-    /// overflow (never observed for realistic query sizes).
+    /// overflow ([`LpError::Overflow`], never observed for realistic query
+    /// sizes).
     pub fn solve(q: &Query) -> Result<QueryLps> {
+        Self::solve_traced(q).map(|(lps, _)| lps)
+    }
+
+    /// Like [`QueryLps::solve`], additionally reporting which layer
+    /// answered.
+    pub fn solve_traced(q: &Query) -> Result<(QueryLps, SolverPath)> {
+        Self::solve_with_cache(LpCache::global(), q)
+    }
+
+    /// Like [`QueryLps::solve_traced`] but against a caller-supplied cache
+    /// instead of the global one.
+    pub fn solve_with_cache(cache: &LpCache, q: &Query) -> Result<(QueryLps, SolverPath)> {
+        if let Some(lps) = Self::try_closed_form(q)? {
+            return Ok((lps, SolverPath::ClosedForm));
+        }
+        let cf = q.canonical_form();
+        if let Some(lps) = cache.lookup(&cf) {
+            return Ok((lps, SolverPath::CacheHit));
+        }
+        let lps = Self::solve_sparse(q)?;
+        cache.insert(&cf, &lps);
+        Ok((lps, SolverPath::SparseSimplex))
+    }
+
+    /// Solve without touching any cache: closed form when the family is
+    /// recognised, sparse simplex otherwise.
+    pub fn solve_uncached(q: &Query) -> Result<(QueryLps, SolverPath)> {
+        if let Some(lps) = Self::try_closed_form(q)? {
+            return Ok((lps, SolverPath::ClosedForm));
+        }
+        Ok((Self::solve_sparse(q)?, SolverPath::SparseSimplex))
+    }
+
+    /// The closed-form layer, with the debug-build cross-check against the
+    /// simplex oracle (release builds rely on the — always sufficient —
+    /// feasibility+duality certificates instead).
+    fn try_closed_form(q: &Query) -> Result<Option<QueryLps>> {
+        let Some((_family, lps)) = crate::families::closed_form(q) else {
+            return Ok(None);
+        };
+        debug_assert_eq!(
+            lps.covering_number(),
+            Self::solve_sparse(q)?.covering_number(),
+            "closed form disagrees with simplex for {_family}"
+        );
+        Ok(Some(lps))
+    }
+
+    /// Solve with the sparse revised simplex alone.
+    ///
+    /// Exactly two LP solves suffice for the whole triple: the duals of
+    /// the edge-packing LP (a `≤`-form LP that needs no phase 1) are an
+    /// optimal vertex cover, and the duals of the *fractional vertex
+    /// weighting* LP (`max Σy` with per-atom sums `≤ 1`) are an optimal
+    /// edge cover. Both extracted solutions are verified for feasibility
+    /// and strong duality before returning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simplex errors, and reports [`LpError::Malformed`] if an
+    /// extracted dual fails verification (a solver bug, not a property of
+    /// the query).
+    pub fn solve_sparse(q: &Query) -> Result<QueryLps> {
+        // Edge packing: max Σu, per-variable sums ≤ 1; duals = cover.
+        let l = q.num_atoms();
+        let mut packing_lp = LinearProgram::new(Objective::Maximize, vec![Rational::ONE; l]);
+        for v in q.var_ids() {
+            let mut row = vec![Rational::ZERO; l];
+            for a in q.atoms_of_var(v) {
+                row[a.0] = Rational::ONE;
+            }
+            packing_lp = packing_lp.constrain(row, ConstraintOp::Le, Rational::ONE)?;
+        }
+        let packing_sol = packing_lp.solve_sparse()?;
+        let edge_packing = EdgePacking::from_weights(packing_sol.variables)?;
+        let vertex_cover = VertexCover::from_weights(packing_sol.duals)?;
+
+        // Vertex weighting: max Σy, per-atom sums ≤ 1; duals = edge cover.
+        let k = q.num_vars();
+        let mut weighting_lp = LinearProgram::new(Objective::Maximize, vec![Rational::ONE; k]);
+        for a in q.atom_ids() {
+            let mut row = vec![Rational::ZERO; k];
+            for v in q.vars_of_atom(a)? {
+                row[v.0] = Rational::ONE;
+            }
+            weighting_lp = weighting_lp.constrain(row, ConstraintOp::Le, Rational::ONE)?;
+        }
+        let weighting_sol = weighting_lp.solve_sparse()?;
+        let edge_cover = EdgeCover::from_weights(weighting_sol.duals)?;
+
+        let lps = QueryLps { vertex_cover, edge_packing, edge_cover };
+        if !lps.vertex_cover.is_valid_for(q) || lps.vertex_cover.total() != lps.edge_packing.total()
+        {
+            return Err(LpError::Malformed(format!(
+                "extracted cover dual invalid for {}: cover {} vs packing {}",
+                q.name(),
+                lps.vertex_cover.total(),
+                lps.edge_packing.total()
+            )));
+        }
+        if !lps.edge_cover.is_valid_for(q)
+            || lps.edge_cover.total() != weighting_sol.objective_value
+        {
+            return Err(LpError::Malformed(format!(
+                "extracted edge-cover dual invalid for {}",
+                q.name()
+            )));
+        }
+        Ok(lps)
+    }
+
+    /// Solve all three LPs with the dense two-phase tableau solver — the
+    /// slow reference oracle the sparse path and the closed forms are
+    /// validated against in tests and experiment smoke runs.
+    ///
+    /// # Errors
+    ///
+    /// As for [`QueryLps::solve`].
+    pub fn solve_dense(q: &Query) -> Result<QueryLps> {
         let vertex_cover = solve_vertex_cover(q)?;
         let edge_packing = solve_edge_packing(q)?;
         let edge_cover = solve_edge_cover(q)?;
@@ -218,6 +394,16 @@ impl QueryLps {
             )));
         }
         Ok(QueryLps { vertex_cover, edge_packing, edge_cover })
+    }
+
+    /// Assemble a triple from already-validated parts (closed forms and
+    /// cache transport).
+    pub(crate) fn from_parts(
+        vertex_cover: VertexCover,
+        edge_packing: EdgePacking,
+        edge_cover: EdgeCover,
+    ) -> QueryLps {
+        QueryLps { vertex_cover, edge_packing, edge_cover }
     }
 
     /// The fractional covering number `τ*(q)`.
@@ -241,7 +427,7 @@ impl QueryLps {
     }
 }
 
-/// Solve the fractional vertex-cover LP of `q`.
+/// Solve the fractional vertex-cover LP of `q` with the dense oracle.
 pub fn solve_vertex_cover(q: &Query) -> Result<VertexCover> {
     let k = q.num_vars();
     let mut lp = LinearProgram::new(Objective::Minimize, vec![Rational::ONE; k]);
@@ -256,7 +442,7 @@ pub fn solve_vertex_cover(q: &Query) -> Result<VertexCover> {
     Ok(VertexCover { weights: sol.variables, total: sol.objective_value })
 }
 
-/// Solve the fractional edge-packing LP of `q`.
+/// Solve the fractional edge-packing LP of `q` with the dense oracle.
 pub fn solve_edge_packing(q: &Query) -> Result<EdgePacking> {
     let l = q.num_atoms();
     let mut lp = LinearProgram::new(Objective::Maximize, vec![Rational::ONE; l]);
@@ -271,7 +457,7 @@ pub fn solve_edge_packing(q: &Query) -> Result<EdgePacking> {
     Ok(EdgePacking { weights: sol.variables, total: sol.objective_value })
 }
 
-/// Solve the fractional edge-cover LP of `q`.
+/// Solve the fractional edge-cover LP of `q` with the dense oracle.
 pub fn solve_edge_cover(q: &Query) -> Result<EdgeCover> {
     let l = q.num_atoms();
     let mut lp = LinearProgram::new(Objective::Minimize, vec![Rational::ONE; l]);
@@ -287,9 +473,10 @@ pub fn solve_edge_cover(q: &Query) -> Result<EdgeCover> {
 }
 
 /// The fractional covering number `τ*(q)` (shortcut for
-/// `QueryLps::solve(q)?.covering_number()`).
+/// `QueryLps::solve(q)?.covering_number()`, so it shares the closed-form
+/// and cache fast paths).
 pub fn tau_star(q: &Query) -> Result<Rational> {
-    Ok(solve_edge_packing(q)?.total())
+    Ok(QueryLps::solve(q)?.covering_number())
 }
 
 #[cfg(test)]

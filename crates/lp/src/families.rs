@@ -1,0 +1,217 @@
+//! Closed-form optimal LP solutions for the recognised query families.
+//!
+//! For the paper's running families the optimal fractional vertex cover,
+//! edge packing and edge cover are known analytically (Table 1):
+//!
+//! | family | cover | packing | τ* | edge cover |
+//! |--------|-------|---------|----|------------|
+//! | `C_k`  | all ½ | all ½ | `k/2` | all ½ |
+//! | `L_k`  | 1 on odd path positions | 1 on odd atoms | `⌈k/2⌉` | odd atoms (+ last if `k` even) |
+//! | `T_k`  | 1 on the centre | 1 on one ray | `1` | 1 on every ray |
+//! | `B_{k,m}` | all `1/m` | all `1/C(k−1,m−1)` | `k/m` | all `1/C(k−1,m−1)` |
+//! | `SP_k` | 1 on each `x_i` | 1 on each `S_i` | `k` | each `S_i` + one `R` |
+//!
+//! [`closed_form`] recognises the family via
+//! [`mpc_cq::families::recognize`] and then **certifies** the analytic
+//! solution at runtime before returning it: the cover and packing must be
+//! feasible with equal totals (weak duality then proves both optimal), and
+//! the edge cover must be feasible with a feasible dual vertex-weighting of
+//! the same total. Certification is `O(nnz)` — far cheaper than a simplex
+//! solve — and means a recognition bug can only ever cost performance
+//! (falling back to the simplex path), never correctness.
+
+use mpc_cq::families::{recognize, RecognizedFamily};
+use mpc_cq::Query;
+
+use crate::cover::{EdgeCover, EdgePacking, QueryLps, VertexCover};
+use crate::rational::Rational;
+
+/// The binomial coefficient `C(k, m)` as `i128` (parameters are
+/// pre-validated by the recogniser, which caps the atom count).
+fn choose(k: usize, m: usize) -> i128 {
+    let m = m.min(k - m);
+    let mut c: i128 = 1;
+    for i in 0..m {
+        c = c * (k - i) as i128 / (i as i128 + 1);
+    }
+    c
+}
+
+/// The analytic weight vectors of a recognised family:
+/// `(cover, packing, edge_cover, edge_cover_dual_certificate)`.
+#[allow(clippy::type_complexity)]
+fn analytic_weights(
+    q: &Query,
+    family: &RecognizedFamily,
+) -> (Vec<Rational>, Vec<Rational>, Vec<Rational>, Vec<Rational>) {
+    let k_vars = q.num_vars();
+    let l_atoms = q.num_atoms();
+    let mut cover = vec![Rational::ZERO; k_vars];
+    let mut packing = vec![Rational::ZERO; l_atoms];
+    let mut edge_cover = vec![Rational::ZERO; l_atoms];
+    let mut certificate = vec![Rational::ZERO; k_vars];
+    match family {
+        RecognizedFamily::Chain { k, var_order, atom_order } => {
+            for (pos, v) in var_order.iter().enumerate() {
+                if pos % 2 == 1 {
+                    cover[v.0] = Rational::ONE;
+                } else {
+                    certificate[v.0] = Rational::ONE;
+                }
+            }
+            for (idx, a) in atom_order.iter().enumerate() {
+                if (idx + 1) % 2 == 1 {
+                    packing[a.0] = Rational::ONE;
+                    edge_cover[a.0] = Rational::ONE;
+                }
+            }
+            if k % 2 == 0 {
+                edge_cover[atom_order[k - 1].0] = Rational::ONE;
+            }
+        }
+        RecognizedFamily::Cycle { .. } => {
+            let half = Rational::new(1, 2);
+            cover = vec![half; k_vars];
+            packing = vec![half; l_atoms];
+            edge_cover = vec![half; l_atoms];
+            certificate = vec![half; k_vars];
+        }
+        RecognizedFamily::Star { center, .. } => {
+            cover[center.0] = Rational::ONE;
+            packing[0] = Rational::ONE;
+            edge_cover = vec![Rational::ONE; l_atoms];
+            for v in q.var_ids() {
+                if v != *center {
+                    certificate[v.0] = Rational::ONE;
+                }
+            }
+        }
+        RecognizedFamily::Binomial { k, m } => {
+            let inv_m = Rational::new(1, *m as i128);
+            let per_var = Rational::new(1, choose(k - 1, m - 1));
+            cover = vec![inv_m; k_vars];
+            packing = vec![per_var; l_atoms];
+            edge_cover = vec![per_var; l_atoms];
+            certificate = vec![inv_m; k_vars];
+        }
+        RecognizedFamily::Spoke { center, arms, .. } => {
+            certificate[center.0] = Rational::ONE;
+            for (r, s, x, y) in arms {
+                cover[x.0] = Rational::ONE;
+                packing[s.0] = Rational::ONE;
+                edge_cover[s.0] = Rational::ONE;
+                certificate[y.0] = Rational::ONE;
+                let _ = r;
+            }
+            edge_cover[arms[0].0 .0] = Rational::ONE;
+        }
+    }
+    (cover, packing, edge_cover, certificate)
+}
+
+/// Is `y` a feasible dual of the edge-cover LP (non-negative vertex
+/// weights with per-atom sums at most 1) of total exactly `target`?
+fn vertex_weighting_certifies(q: &Query, y: &[Rational], target: Rational) -> bool {
+    if y.len() != q.num_vars() || y.iter().any(Rational::is_negative) {
+        return false;
+    }
+    let feasible = q.atom_ids().all(|a| {
+        let vars = q.vars_of_atom(a).expect("atom id from the query itself");
+        let sum = vars.iter().fold(Rational::ZERO, |acc, v| acc + y[v.0]);
+        sum <= Rational::ONE
+    });
+    feasible && Rational::sum(y.iter()).map(|t| t == target).unwrap_or(false)
+}
+
+/// The certified closed-form LP triple of a recognised family, or `None`
+/// when the query matches no family (or — never observed, and guarded by a
+/// debug assertion — a certificate fails, in which case the caller falls
+/// back to simplex).
+pub fn closed_form(q: &Query) -> Option<(String, QueryLps)> {
+    let family = recognize(q)?;
+    let (cover_w, packing_w, edge_cover_w, certificate) = analytic_weights(q, &family);
+    let cover = VertexCover::from_weights(cover_w).ok()?;
+    let packing = EdgePacking::from_weights(packing_w).ok()?;
+    let edge_cover = EdgeCover::from_weights(edge_cover_w).ok()?;
+    let primal_dual_ok =
+        cover.is_valid_for(q) && packing.is_valid_for(q) && cover.total() == packing.total();
+    let edge_cover_ok = edge_cover.is_valid_for(q)
+        && vertex_weighting_certifies(q, &certificate, edge_cover.total());
+    if !(primal_dual_ok && edge_cover_ok) {
+        debug_assert!(
+            false,
+            "closed-form certificate failed for {} recognised as {}",
+            q.name(),
+            family.display_name()
+        );
+        return None;
+    }
+    Some((family.display_name(), QueryLps::from_parts(cover, packing, edge_cover)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_cq::families;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn closed_forms_match_table_1() {
+        let cases: Vec<(mpc_cq::Query, Rational)> = vec![
+            (families::cycle(3), r(3, 2)),
+            (families::cycle(4), r(2, 1)),
+            (families::cycle(9), r(9, 2)),
+            (families::chain(3), r(2, 1)),
+            (families::chain(8), r(4, 1)),
+            (families::star(5), r(1, 1)),
+            (families::binomial(5, 2).unwrap(), r(5, 2)),
+            (families::binomial(6, 3).unwrap(), r(2, 1)),
+            (families::spoke(4), r(4, 1)),
+        ];
+        for (q, tau) in cases {
+            let (name, lps) = closed_form(&q).unwrap_or_else(|| panic!("{} closed form", q.name()));
+            assert_eq!(lps.covering_number(), tau, "{name}");
+            assert_eq!(lps.vertex_cover().total(), lps.edge_packing().total(), "{name}");
+            assert!(lps.vertex_cover().is_valid_for(&q), "{name}");
+            assert!(lps.edge_packing().is_valid_for(&q), "{name}");
+            assert!(lps.edge_cover().is_valid_for(&q), "{name}");
+        }
+    }
+
+    #[test]
+    fn closed_form_edge_covers_are_optimal() {
+        // Cross-check the edge-cover values against the dense oracle.
+        for q in [
+            families::cycle(5),
+            families::chain(4),
+            families::chain(5),
+            families::star(3),
+            families::binomial(4, 2).unwrap(),
+            families::spoke(3),
+        ] {
+            let (_, closed) = closed_form(&q).unwrap();
+            let oracle = crate::cover::solve_edge_cover(&q).unwrap();
+            assert_eq!(closed.edge_cover().total(), oracle.total(), "{}", q.name());
+        }
+    }
+
+    #[test]
+    fn unrecognised_queries_have_no_closed_form() {
+        assert!(closed_form(&families::witness_query()).is_none());
+    }
+
+    #[test]
+    fn renamed_families_still_get_closed_forms() {
+        let q = mpc_cq::Query::new(
+            "Zig",
+            vec![("A", vec!["p", "q"]), ("B", vec!["q", "r"]), ("C", vec!["r", "p"])],
+        )
+        .unwrap();
+        let (name, lps) = closed_form(&q).unwrap();
+        assert_eq!(name, "C3");
+        assert_eq!(lps.covering_number(), r(3, 2));
+    }
+}

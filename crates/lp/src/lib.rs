@@ -12,9 +12,19 @@
 //!
 //! * [`Rational`]: exact rational arithmetic over `i128`,
 //! * [`simplex`]: a small dense two-phase primal simplex solver with
-//!   Bland's anti-cycling rule, and
+//!   Bland's anti-cycling rule, kept as the slow, independent **oracle**,
+//! * [`sparse`]: the production solver — a sparse revised simplex with an
+//!   eta-factorised basis and steepest-edge/Bland pricing,
+//! * [`families`]: certificate-checked **closed-form** optima for the
+//!   recognised query families (cycles, chains, stars, `B_{k,m}`, spokes),
+//! * [`cache`]: a process-wide memoising cache keyed by the query's
+//!   canonical hypergraph signature, and
 //! * [`cover`]: builders and solvers for the vertex-cover, edge-packing and
 //!   edge-cover LPs of a [`mpc_cq::Query`], plus duality/tightness checks.
+//!
+//! [`QueryLps::solve`] stacks those layers: closed form → cache hit →
+//! sparse simplex (see its docs for the exact contract and how to bypass
+//! the cache).
 //!
 //! # Example
 //!
@@ -32,12 +42,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod cover;
 pub mod error;
+pub mod families;
 pub mod rational;
 pub mod simplex;
+pub mod sparse;
 
-pub use cover::QueryLps;
+pub use cache::LpCache;
+pub use cover::{QueryLps, SolverPath};
 pub use error::LpError;
 pub use rational::Rational;
 

@@ -118,14 +118,20 @@ impl Rational {
         Rational::checked_new(self.den, self.num)
     }
 
-    /// Checked addition.
+    /// Checked addition, normalising via the GCD of the denominators
+    /// *before* multiplying: `a/b + c/d = (a·(d/g) + c·(b/g)) / (b·(d/g))`
+    /// with `g = gcd(b, d)`. This keeps the intermediates minimal — the
+    /// difference between finishing and overflowing on long simplex pivot
+    /// sequences.
     pub fn checked_add(&self, other: &Rational) -> Result<Rational> {
+        let g = gcd(self.den, other.den).max(1);
+        let (rb, rd) = (self.den / g, other.den / g);
         let num = self
             .num
-            .checked_mul(other.den)
-            .and_then(|a| other.num.checked_mul(self.den).and_then(|b| a.checked_add(b)))
+            .checked_mul(rd)
+            .and_then(|a| other.num.checked_mul(rb).and_then(|b| a.checked_add(b)))
             .ok_or(LpError::Overflow("add"))?;
-        let den = self.den.checked_mul(other.den).ok_or(LpError::Overflow("add"))?;
+        let den = self.den.checked_mul(rd).ok_or(LpError::Overflow("add"))?;
         Rational::checked_new(num, den)
     }
 
@@ -221,11 +227,36 @@ impl PartialOrd for Rational {
     }
 }
 
+/// Exact overflow-free comparison of `a/b` and `c/d` (`b, d > 0`) by
+/// Euclidean descent on the continued-fraction expansions: equal integer
+/// parts reduce the problem to comparing the reciprocals of the remainders,
+/// whose denominators strictly shrink.
+fn cmp_fractions(a: i128, b: i128, c: i128, d: i128) -> Ordering {
+    let (q1, r1) = (a.div_euclid(b), a.rem_euclid(b));
+    let (q2, r2) = (c.div_euclid(d), c.rem_euclid(d));
+    match q1.cmp(&q2) {
+        Ordering::Equal => match (r1 == 0, r2 == 0) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Less,
+            (false, true) => Ordering::Greater,
+            // r1/b vs r2/d  ==  d/r2 vs b/r1 (taking reciprocals of values
+            // in (0,1) flips the order twice).
+            (false, false) => cmp_fractions(d, r2, b, r1),
+        },
+        unequal => unequal,
+    }
+}
+
 impl Ord for Rational {
     fn cmp(&self, other: &Self) -> Ordering {
-        // a/b ? c/d  <=>  a*d ? c*b   (b, d > 0). Values stay small enough
-        // for i128 in this crate's workloads.
-        (self.num * other.den).cmp(&(other.num * self.den))
+        // a/b ? c/d  <=>  a·d ? c·b  (b, d > 0) — with an exact
+        // Euclidean-descent fallback when the cross products would
+        // overflow i128 (long simplex runs produce large entries; a
+        // wrapped comparison would corrupt pivoting silently).
+        match (self.num.checked_mul(other.den), other.num.checked_mul(self.den)) {
+            (Some(lhs), Some(rhs)) => lhs.cmp(&rhs),
+            _ => cmp_fractions(self.num, self.den, other.num, other.den),
+        }
     }
 }
 
@@ -377,6 +408,30 @@ mod tests {
         assert!(big.checked_mul(&Rational::from_int(4)).is_err());
         let max = Rational::new(i128::MAX, 1);
         assert!(max.checked_add(&max).is_err());
+    }
+
+    #[test]
+    fn gcd_normalised_add_avoids_needless_overflow() {
+        // Denominators share a huge factor: the naive b·d denominator
+        // product overflows, but gcd-first addition stays exact.
+        let big = 1_i128 << 100;
+        let a = Rational::new(1, big);
+        let b = Rational::new(1, big * 2);
+        assert_eq!(a.checked_add(&b).unwrap(), Rational::new(3, big * 2));
+    }
+
+    #[test]
+    fn comparison_survives_cross_product_overflow() {
+        // Both cross products exceed i128, forcing the Euclidean fallback.
+        let big = (1_i128 << 90) + 1;
+        let a = Rational::new(big, big - 2);
+        let b = Rational::new(big + 2, big);
+        assert!(a > b, "1 + 2/(big-2) > 1 + 2/big");
+        assert!(b < a);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+        let neg_a = -a;
+        let neg_b = -b;
+        assert!(neg_a < neg_b);
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! A small dense two-phase primal simplex solver over exact rationals.
 //!
-//! The LPs in this project are tiny (variables and constraints are counted
-//! in tens), so a dense tableau with exact [`Rational`] arithmetic and
-//! Bland's anti-cycling rule is both simple and fully reliable: the
-//! reported optima (`τ*`, covers, packings) are exact, never approximate.
+//! This is the slow, independent **oracle** of the LP layer: a dense
+//! tableau with exact [`Rational`] arithmetic and Bland's anti-cycling
+//! rule, trivially auditable and used to validate the production sparse
+//! revised simplex ([`crate::sparse`]) and the closed-form family solutions
+//! ([`crate::families`]). All arithmetic is checked: adversarial inputs
+//! that drive intermediate rationals past `i128` report
+//! [`crate::LpError::Overflow`] instead of panicking.
 
 use serde::{Deserialize, Serialize};
 
@@ -187,11 +190,11 @@ impl Tableau {
             *c = -Rational::ONE;
         }
         self.optimize(&phase1_costs, self.n_total)?;
-        let phase1_value = self.objective_value(&phase1_costs);
+        let phase1_value = self.objective_value(&phase1_costs)?;
         if !phase1_value.is_zero() {
             return Err(LpError::Infeasible);
         }
-        self.evict_artificials();
+        self.evict_artificials()?;
 
         // Phase 2: optimise the real objective over non-artificial columns.
         let mut phase2_costs = vec![Rational::ZERO; self.n_total];
@@ -215,25 +218,25 @@ impl Tableau {
     }
 
     /// Reduced cost of column `j` for the given cost vector.
-    fn reduced_cost(&self, costs: &[Rational], j: usize) -> Rational {
+    fn reduced_cost(&self, costs: &[Rational], j: usize) -> Result<Rational> {
         let mut z = Rational::ZERO;
         for (i, row) in self.rows.iter().enumerate() {
             let cb = costs[self.basis[i]];
             if !cb.is_zero() && !row[j].is_zero() {
-                z += cb * row[j];
+                z = z.checked_add(&cb.checked_mul(&row[j])?)?;
             }
         }
-        costs[j] - z
+        costs[j].checked_sub(&z)
     }
 
-    fn objective_value(&self, costs: &[Rational]) -> Rational {
+    fn objective_value(&self, costs: &[Rational]) -> Result<Rational> {
         let mut v = Rational::ZERO;
         for (i, &b) in self.basis.iter().enumerate() {
             if !costs[b].is_zero() {
-                v += costs[b] * self.rhs[i];
+                v = v.checked_add(&costs[b].checked_mul(&self.rhs[i])?)?;
             }
         }
-        v
+        Ok(v)
     }
 
     /// Primal simplex iterations (maximisation) restricted to columns
@@ -244,7 +247,13 @@ impl Tableau {
         let max_iters = 10_000 + 100 * (self.n_total + self.rows.len());
         for _ in 0..max_iters {
             // Entering column: smallest index with positive reduced cost.
-            let entering = (0..allowed_cols).find(|&j| self.reduced_cost(costs, j).is_positive());
+            let mut entering = None;
+            for j in 0..allowed_cols {
+                if self.reduced_cost(costs, j)?.is_positive() {
+                    entering = Some(j);
+                    break;
+                }
+            }
             let Some(entering) = entering else {
                 return Ok(());
             };
@@ -253,7 +262,7 @@ impl Tableau {
             let mut leaving: Option<(usize, Rational)> = None;
             for (i, row) in self.rows.iter().enumerate() {
                 if row[entering].is_positive() {
-                    let ratio = self.rhs[i] / row[entering];
+                    let ratio = self.rhs[i].checked_div(&row[entering])?;
                     let better = match &leaving {
                         None => true,
                         Some((li, lr)) => {
@@ -268,20 +277,20 @@ impl Tableau {
             let Some((pivot_row, _)) = leaving else {
                 return Err(LpError::Unbounded);
             };
-            self.pivot(pivot_row, entering);
+            self.pivot(pivot_row, entering)?;
         }
         Err(LpError::Malformed("simplex iteration limit exceeded".to_string()))
     }
 
     /// Pivot so that column `col` becomes basic in row `row`.
-    fn pivot(&mut self, row: usize, col: usize) {
+    fn pivot(&mut self, row: usize, col: usize) -> Result<()> {
         let pivot = self.rows[row][col];
         debug_assert!(!pivot.is_zero(), "pivot element must be non-zero");
-        let inv = pivot.recip().expect("pivot element is non-zero");
+        let inv = pivot.recip()?;
         for entry in self.rows[row].iter_mut() {
-            *entry = *entry * inv;
+            *entry = entry.checked_mul(&inv)?;
         }
-        self.rhs[row] = self.rhs[row] * inv;
+        self.rhs[row] = self.rhs[row].checked_mul(&inv)?;
 
         for i in 0..self.rows.len() {
             if i == row {
@@ -292,17 +301,20 @@ impl Tableau {
                 continue;
             }
             for j in 0..self.n_total {
-                let delta = factor * self.rows[row][j];
-                self.rows[i][j] = self.rows[i][j] - delta;
+                if !self.rows[row][j].is_zero() {
+                    let delta = factor.checked_mul(&self.rows[row][j])?;
+                    self.rows[i][j] = self.rows[i][j].checked_sub(&delta)?;
+                }
             }
-            self.rhs[i] = self.rhs[i] - factor * self.rhs[row];
+            self.rhs[i] = self.rhs[i].checked_sub(&factor.checked_mul(&self.rhs[row])?)?;
         }
         self.basis[row] = col;
+        Ok(())
     }
 
     /// After phase 1, pivot any artificial variable out of the basis, or
     /// drop its (redundant) row when that is impossible.
-    fn evict_artificials(&mut self) {
+    fn evict_artificials(&mut self) -> Result<()> {
         let mut i = 0;
         while i < self.rows.len() {
             if self.basis[i] >= self.n_real {
@@ -310,7 +322,7 @@ impl Tableau {
                 let replacement = (0..self.n_real).find(|&j| !self.rows[i][j].is_zero());
                 match replacement {
                     Some(col) => {
-                        self.pivot(i, col);
+                        self.pivot(i, col)?;
                         i += 1;
                     }
                     None => {
@@ -324,6 +336,7 @@ impl Tableau {
                 i += 1;
             }
         }
+        Ok(())
     }
 }
 
@@ -448,6 +461,42 @@ mod tests {
     fn empty_lp_rejected() {
         let lp = LinearProgram::new(Objective::Maximize, vec![]);
         assert!(matches!(lp.solve().unwrap_err(), LpError::Malformed(_)));
+    }
+
+    #[test]
+    fn adversarial_pivots_overflow_gracefully() {
+        // Coefficients with huge pairwise-coprime denominators: the first
+        // eliminations multiply the denominators together, exceeding i128.
+        // The solver must report LpError::Overflow — not panic — for both
+        // the dense tableau and the sparse revised simplex.
+        let p: Vec<i128> = vec![
+            1_000_000_000_000_000_000_000_000_000_057,
+            1_000_000_000_000_000_000_000_000_000_061,
+            1_000_000_000_000_000_000_000_000_000_063,
+            1_000_000_000_000_000_000_000_000_000_069,
+            1_000_000_000_000_000_000_000_000_000_073,
+            1_000_000_000_000_000_000_000_000_000_077,
+        ];
+        let mut lp = LinearProgram::new(Objective::Maximize, vec![r(1, 1); 3]);
+        for i in 0..2 {
+            lp = lp
+                .constrain(
+                    vec![r(1, p[3 * i]), r(1, p[3 * i + 1]), r(1, p[3 * i + 2])],
+                    ConstraintOp::Le,
+                    r(1, 1),
+                )
+                .unwrap();
+        }
+        let dense = lp.solve();
+        assert!(
+            matches!(dense, Err(LpError::Overflow(_))),
+            "dense solver must surface overflow, got {dense:?}"
+        );
+        let sparse = lp.solve_sparse();
+        assert!(
+            matches!(sparse, Err(LpError::Overflow(_))),
+            "sparse solver must surface overflow, got {sparse:?}"
+        );
     }
 
     #[test]

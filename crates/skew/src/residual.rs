@@ -16,7 +16,10 @@
 //! each plan attracts, and equips every plan with two share candidates:
 //!
 //! * the cover-based [`ShareAllocation`] of its residual query (the
-//!   paper's worst-case-optimal choice, cardinality-blind), and
+//!   paper's worst-case-optimal choice, cardinality-blind) — one cover LP
+//!   per heavy subset, served through the memoising LP cache of `mpc-lp`,
+//!   so isomorphic residuals across plans, rebuilds and sibling queries
+//!   cost one solve, and
 //! * a greedy cardinality-aware share vector minimising the estimated
 //!   per-server load `Σ_j |R_j^H| / ∏_{x ∈ lightvars(R_j)} p_x` under the
 //!   actual per-pattern tuple counts,
@@ -527,6 +530,38 @@ mod tests {
         assert_eq!(set.heavy_pattern(s, &mpc_storage::Tuple::from([1, 2])), None);
         // Consistent repeated variable → a (light) pattern.
         assert_eq!(set.heavy_pattern(s, &mpc_storage::Tuple::from([1, 1])), Some(BTreeSet::new()));
+    }
+
+    #[test]
+    fn residual_cover_solves_hit_the_lp_cache() {
+        // Building a plan set solves one cover LP per heavy subset; a
+        // rebuild must answer every one of them from the global LP cache.
+        // Counters are process-global and monotonic, so comparing before/
+        // after deltas is safe under concurrent tests.
+        let q = families::cycle(3);
+        let db = heavy_hitter_database(&q, 2000, 2000, 0.5, 3);
+        let _warm = plan_set(&q, &db, 27);
+        let before = mpc_query_lp_stats();
+        let rebuilt = plan_set(&q, &db, 27);
+        let after = mpc_query_lp_stats();
+        // Recognised-family residuals (like the light plan's C3) take the
+        // closed form and never touch the cache; every other residual must
+        // hit on the rebuild.
+        let cacheable = rebuilt
+            .plans()
+            .iter()
+            .filter_map(|p| p.residual.as_ref())
+            .filter(|rq| mpc_cq::families::recognize(rq).is_none())
+            .count() as u64;
+        assert!(cacheable >= 2, "cycle with heavy vars has multiple non-family residuals");
+        assert!(
+            after.hits >= before.hits + cacheable,
+            "expected ≥{cacheable} cache hits, stats before {before:?} after {after:?}"
+        );
+    }
+
+    fn mpc_query_lp_stats() -> mpc_lp::cache::CacheStats {
+        mpc_lp::LpCache::global().stats()
     }
 
     #[test]

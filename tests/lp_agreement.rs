@@ -1,0 +1,186 @@
+//! Cross-solver agreement property test for the LP layer.
+//!
+//! For 200 seeded random queries — acyclic (random trees), cyclic (random
+//! spanning path plus chords), mixed-arity hypergraphs, and renamed/
+//! permuted instances of the recognised families — the three solver paths
+//! must agree **exactly** (rational equality, no epsilons):
+//!
+//! * the dense tableau oracle (`QueryLps::solve_dense`),
+//! * the sparse revised simplex (`QueryLps::solve_sparse`), and
+//! * when the family is recognised, the closed form
+//!   (`mpc_lp::families::closed_form`),
+//!
+//! on `τ*`, the feasibility of every returned cover/packing/edge-cover,
+//! and LP duality (`cover total == packing total`). The cached fast path
+//! (`QueryLps::solve`) is exercised on top, which also validates the
+//! canonical-signature transport of the memoising cache.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mpc_query::cq::{families, Query};
+use mpc_query::lp::{QueryLps, Rational};
+
+/// Number of random queries checked.
+const CASES: usize = 200;
+
+/// Master seed of the deterministic generator.
+const CASE_SEED: u64 = 0x1A9_BEA3E;
+
+/// Build one random query; the mix covers trees, cyclic graphs, higher
+/// arities and renamed family instances.
+fn random_query(rng: &mut StdRng, case: usize) -> Query {
+    match case % 4 {
+        // Random tree (acyclic): every variable links to a random earlier one.
+        0 => {
+            let k = rng.gen_range(2usize..8);
+            let atoms: Vec<(String, Vec<String>)> = (1..k)
+                .map(|i| {
+                    let parent = rng.gen_range(0usize..i);
+                    (format!("E{i}"), vec![format!("x{parent}"), format!("x{i}")])
+                })
+                .collect();
+            Query::new(format!("tree{case}"), atoms).expect("valid tree query")
+        }
+        // Spanning path plus random chords (cyclic).
+        1 => {
+            let k = rng.gen_range(3usize..8);
+            let mut atoms: Vec<(String, Vec<String>)> = (1..k)
+                .map(|i| (format!("P{i}"), vec![format!("x{}", i - 1), format!("x{i}")]))
+                .collect();
+            for j in 0..rng.gen_range(1usize..4) {
+                let a = rng.gen_range(0usize..k);
+                let b = rng.gen_range(0usize..k);
+                if a != b {
+                    atoms.push((format!("C{j}"), vec![format!("x{a}"), format!("x{b}")]));
+                }
+            }
+            Query::new(format!("cyc{case}"), atoms).expect("valid cyclic query")
+        }
+        // Mixed arities: random hyperedges of size 1..=3.
+        2 => {
+            let k = rng.gen_range(2usize..7);
+            let l = rng.gen_range(2usize..6);
+            let atoms: Vec<(String, Vec<String>)> = (0..l)
+                .map(|j| {
+                    let arity = rng.gen_range(1usize..4);
+                    let vars =
+                        (0..arity).map(|_| format!("x{}", rng.gen_range(0usize..k))).collect();
+                    (format!("H{j}"), vars)
+                })
+                .collect();
+            Query::new(format!("hyp{case}"), atoms).expect("valid hypergraph query")
+        }
+        // A family instance with shuffled atom order and fresh names, so
+        // recognition (and the closed form) must work up to renaming.
+        _ => {
+            let q = match rng.gen_range(0usize..5) {
+                0 => families::cycle(rng.gen_range(2usize..10)),
+                1 => families::chain(rng.gen_range(1usize..10)),
+                2 => families::star(rng.gen_range(1usize..8)),
+                3 => families::spoke(rng.gen_range(1usize..5)),
+                _ => families::binomial(rng.gen_range(2usize..6), 2).expect("valid"),
+            };
+            let mut atoms: Vec<(String, Vec<String>)> = q
+                .atoms()
+                .iter()
+                .enumerate()
+                .map(|(i, a)| {
+                    (format!("R{i}"), a.vars.iter().map(|v| format!("v{}", v.0)).collect())
+                })
+                .collect();
+            // Deterministic shuffle by rotation + swap.
+            let rot = rng.gen_range(0usize..atoms.len());
+            atoms.rotate_left(rot);
+            if atoms.len() > 1 {
+                let s = rng.gen_range(0usize..atoms.len() - 1);
+                atoms.swap(s, s + 1);
+            }
+            Query::new(format!("fam{case}"), atoms).expect("valid renamed family")
+        }
+    }
+}
+
+#[test]
+fn all_solver_paths_agree_on_200_random_queries() {
+    let mut rng = StdRng::seed_from_u64(CASE_SEED);
+    let mut closed_form_cases = 0usize;
+    for case in 0..CASES {
+        let q = random_query(&mut rng, case);
+        let check = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let dense = QueryLps::solve_dense(&q).expect("dense oracle solves");
+            let sparse = QueryLps::solve_sparse(&q).expect("sparse solver solves");
+
+            // τ* agreement, exactly.
+            assert_eq!(dense.covering_number(), sparse.covering_number(), "τ* dense vs sparse");
+            assert_eq!(
+                dense.edge_cover().total(),
+                sparse.edge_cover().total(),
+                "edge cover dense vs sparse"
+            );
+
+            // Feasibility and duality of both solvers' solutions.
+            for (label, lps) in [("dense", &dense), ("sparse", &sparse)] {
+                assert!(lps.vertex_cover().is_valid_for(&q), "{label} cover feasible");
+                assert!(lps.edge_packing().is_valid_for(&q), "{label} packing feasible");
+                assert!(lps.edge_cover().is_valid_for(&q), "{label} edge cover feasible");
+                assert_eq!(
+                    lps.vertex_cover().total(),
+                    lps.edge_packing().total(),
+                    "{label} duality"
+                );
+                assert!(lps.covering_number() >= Rational::ONE, "{label} τ* ≥ 1");
+            }
+
+            // Closed form, when the family is recognised.
+            if let Some((family, closed)) = mpc_query::lp::families::closed_form(&q) {
+                assert_eq!(
+                    closed.covering_number(),
+                    dense.covering_number(),
+                    "closed form {family} τ*"
+                );
+                assert_eq!(
+                    closed.edge_cover().total(),
+                    dense.edge_cover().total(),
+                    "closed form {family} edge cover"
+                );
+                assert!(closed.vertex_cover().is_valid_for(&q));
+                assert!(closed.edge_packing().is_valid_for(&q));
+                assert!(closed.edge_cover().is_valid_for(&q));
+                true
+            } else {
+                false
+            }
+        }));
+        match check {
+            Ok(true) => closed_form_cases += 1,
+            Ok(false) => {}
+            Err(panic) => {
+                eprintln!("lp agreement failed on case {case}: {q}");
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
+    // The family quarter of the generator must actually exercise the
+    // closed forms.
+    assert!(closed_form_cases >= CASES / 8, "only {closed_form_cases} closed-form cases");
+}
+
+#[test]
+fn cached_fast_path_agrees_and_transports_validly() {
+    let mut rng = StdRng::seed_from_u64(CASE_SEED ^ 0x5EED);
+    for case in 0..CASES / 4 {
+        let q = random_query(&mut rng, case);
+        let fast = QueryLps::solve(&q).expect("fast path solves");
+        let dense = QueryLps::solve_dense(&q).expect("dense oracle solves");
+        assert_eq!(fast.covering_number(), dense.covering_number(), "fast path τ* on {q}");
+        assert!(fast.vertex_cover().is_valid_for(&q), "fast path cover feasible on {q}");
+        assert!(fast.edge_packing().is_valid_for(&q), "fast path packing feasible on {q}");
+        assert!(fast.edge_cover().is_valid_for(&q), "fast path edge cover feasible on {q}");
+        // Twice more: whatever mixture of cache hits this produces must
+        // transport to identical optima.
+        let again = QueryLps::solve(&q).expect("fast path solves twice");
+        assert_eq!(again.covering_number(), fast.covering_number());
+        assert!(again.vertex_cover().is_valid_for(&q));
+    }
+}
