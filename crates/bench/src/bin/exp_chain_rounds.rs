@@ -5,6 +5,13 @@
 //! takes 4 rounds at ε = 0 but only 2 at ε = 1/2 — and the measured lower
 //! bounds match.
 //!
+//! CLI flags: `--scale <f64>` shrinks/grows the inputs; `--json <path>`
+//! (or `MPC_BENCH_JSON=<dir>`) writes the rows as JSON.
+//!
+//! Output shape: one markdown table; rows = (chain length `k`, ε),
+//! columns = `kε`, the round lower bound, the planner's depth, the
+//! executed round count, max bytes/round and a correctness check.
+//!
 //! ```text
 //! cargo run --release -p mpc-bench --bin exp_chain_rounds
 //! ```

@@ -6,6 +6,12 @@
 //! needs Θ(p^δ)), while the dense instances stay at two rounds within
 //! budget and the two-round algorithm blows the budget on sparse inputs.
 //!
+//! CLI flags: `--scale <f64>` shrinks/grows the graphs; `--json <path>`
+//! (or `MPC_BENCH_JSON=<dir>`) writes the rows as JSON.
+//!
+//! Output shape: one markdown table; rows = server count `p`, columns =
+//! layer count, sparse/dense round counts and their budget verdicts.
+//!
 //! ```text
 //! cargo run --release -p mpc-bench --bin exp_connected_components
 //! ```

@@ -5,6 +5,13 @@
 //! `p^{−1/3}`... i.e. `n / p^{1/τ*}`, stays within the ε = 1/3 budget, and
 //! is far below broadcast.
 //!
+//! CLI flags: `--scale <f64>` shrinks/grows the input; `--json <path>`
+//! (or `MPC_BENCH_JSON=<dir>`) writes the rows as JSON.
+//!
+//! Output shape: one markdown table; rows = server count `p`, columns =
+//! integer shares, HC max bytes/server vs the budget, replication, the
+//! broadcast baseline's load and the answer count.
+//!
 //! ```text
 //! cargo run --release -p mpc-bench --bin exp_hypercube_load
 //! ```

@@ -6,6 +6,13 @@
 //! probability decays with `p`; the two-round plan always finds every
 //! witness.
 //!
+//! CLI flags: `--scale <f64>` shrinks/grows the trials and inputs;
+//! `--json <path>` (or `MPC_BENCH_JSON=<dir>`) writes the rows as JSON.
+//!
+//! Output shape: one markdown table; rows = server count `p`, columns =
+//! trial counts and how often the 1-round vs 2-round algorithm found a
+//! witness.
+//!
 //! ```text
 //! cargo run --release -p mpc-bench --bin exp_join_witness
 //! ```

@@ -7,6 +7,12 @@
 //! decays polynomially in `p` (1/p for both queries, since τ* = 2 resp.
 //! the exponent τ*(1−ε)−1 = 1/2 for C3).
 //!
+//! CLI flags: `--scale <f64>` shrinks/grows the input; `--json <path>`
+//! (or `MPC_BENCH_JSON=<dir>`) writes the rows as JSON.
+//!
+//! Output shape: one markdown table; rows = (query, `p`), columns = τ*,
+//! the predicted `1/p^{τ*(1−ε)−1}` fraction and the measured one.
+//!
 //! ```text
 //! cargo run --release -p mpc-bench --bin exp_one_round_fraction
 //! ```

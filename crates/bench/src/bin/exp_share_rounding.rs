@@ -5,6 +5,13 @@
 //! load penalty versus the ideal fractional load `n/p^{1/τ*}` for several
 //! queries and server counts.
 //!
+//! CLI flags: `--scale <f64>` shrinks/grows the input; `--json <path>`
+//! (or `MPC_BENCH_JSON=<dir>`) writes the rows as JSON.
+//!
+//! Output shape: one markdown table; rows = (query, `p`), columns = the
+//! integer shares, cells used, server utilisation, and the measured max
+//! load against the ideal fractional load (the rounding penalty).
+//!
 //! ```text
 //! cargo run --release -p mpc-bench --bin exp_share_rounding
 //! ```

@@ -11,6 +11,14 @@
 //!   plans, restoring balance (and the budget) on the rows where vanilla
 //!   HyperCube fails.
 //!
+//! CLI flags: `--scale <f64>` shrinks/grows the inputs (CI uses 0.1);
+//! `--json <path>` (or `MPC_BENCH_JSON=<dir>`) writes the rows as JSON.
+//!
+//! Output shape: one markdown table; rows = (query, input distribution),
+//! columns = vanilla vs resilient max load / balance / budget verdicts,
+//! heavy-value and residual-plan counts. Exits non-zero if the resilient
+//! program regresses over budget (a CI smoke step).
+//!
 //! ```text
 //! cargo run --release -p mpc-bench --bin exp_skew_ablation
 //! ```

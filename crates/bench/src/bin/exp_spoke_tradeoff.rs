@@ -5,6 +5,13 @@
 //! The shape to reproduce: the one-round max load grows with k (and with
 //! p) while the two-round load stays flat.
 //!
+//! CLI flags: `--scale <f64>` shrinks/grows the input; `--json <path>`
+//! (or `MPC_BENCH_JSON=<dir>`) writes the rows as JSON.
+//!
+//! Output shape: one markdown table; rows = (spoke count `k`, `p`),
+//! columns = the one-round ε*, replication and max bytes against the
+//! two-round plan's, plus a correctness check.
+//!
 //! ```text
 //! cargo run --release -p mpc-bench --bin exp_spoke_tradeoff
 //! ```

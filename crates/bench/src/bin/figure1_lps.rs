@@ -11,6 +11,13 @@
 //! — dense oracle, sparse revised simplex and closed form must agree
 //! exactly, and the binary exits non-zero otherwise (a CI smoke step).
 //!
+//! CLI flags: `--k <n>` sweeps larger family instances; `--json <path>`
+//! (or `MPC_BENCH_JSON=<dir>`) writes the rows as JSON.
+//!
+//! Output shape: one markdown table; rows = queries, columns = the
+//! optimal vertex cover and edge packing, their common value τ*,
+//! duality/tightness checks and the solver path that produced the row.
+//!
 //! ```text
 //! cargo run --release -p mpc-bench --bin figure1_lps [-- --k 20]
 //! ```

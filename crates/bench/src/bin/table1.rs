@@ -15,6 +15,14 @@
 //! recognised) must agree exactly, and the binary exits non-zero otherwise
 //! — CI runs it (scaled down) as a smoke step.
 //!
+//! CLI flags: `--k <n>` sweeps larger family instances; `--scale <f64>`
+//! shrinks/grows the measured inputs; `--json <path>` (or
+//! `MPC_BENCH_JSON=<dir>`) writes the rows as JSON.
+//!
+//! Output shape: one markdown table; rows = query family instances,
+//! columns = expected vs measured answer sizes, the minimum vertex
+//! cover, share exponents, τ*, the space exponent and the solver path.
+//!
 //! ```text
 //! cargo run --release -p mpc-bench --bin table1 [-- --k 24] [-- --scale 0.1]
 //! ```

@@ -5,6 +5,13 @@
 //! planner's depth, the round lower bound and a simulated execution check
 //! for each entry.
 //!
+//! CLI flags: `--scale <f64>` shrinks/grows the simulated inputs;
+//! `--json <path>` (or `MPC_BENCH_JSON=<dir>`) writes the rows as JSON.
+//!
+//! Output shape: one markdown table; rows = query family instances,
+//! columns = ε*, round counts at ε ∈ {0, 1/2, 2/3} (lower bound and
+//! planner depth) and a simulated-vs-sequential check.
+//!
 //! ```text
 //! cargo run --release -p mpc-bench --bin table2
 //! ```

@@ -95,11 +95,9 @@ impl Cluster {
             // -- Accounting ----------------------------------------------------
             let stats = self.round_stats(round, &servers, input_bytes, budget_bytes);
             if stats.exceeds_budget && self.config.fail_on_overload {
-                let (server, received_bytes) = servers
-                    .iter()
-                    .map(|s| (s.id(), s.bytes_received_in_round(round)))
-                    .max_by_key(|(_, b)| *b)
-                    .expect("p >= 1");
+                let per_server: Vec<u64> =
+                    servers.iter().map(|s| s.bytes_received_in_round(round)).collect();
+                let (server, received_bytes) = overloaded_server(&per_server);
                 return Err(SimError::Overload { round, server, received_bytes, budget_bytes });
             }
             rounds.push(stats);
@@ -117,22 +115,11 @@ impl Cluster {
         // -- Output ------------------------------------------------------------
         let outputs: Vec<Result<Relation>> =
             servers.par_iter().map(|s| program.output(s.id(), s)).collect();
-        let mut output = Relation::empty(program.output_name(), program.output_arity());
-        let mut per_server_output = Vec::with_capacity(p);
+        let mut collected = Vec::with_capacity(p);
         for result in outputs {
-            let rel = result?;
-            per_server_output.push(rel.len());
-            if rel.arity() != output.arity() && !rel.is_empty() {
-                return Err(SimError::Program(format!(
-                    "server produced output of arity {} but the program declares arity {}",
-                    rel.arity(),
-                    output.arity()
-                )));
-            }
-            for t in rel.iter() {
-                output.insert(t.clone()).map_err(|e| SimError::Storage(e.to_string()))?;
-            }
+            collected.push(result?);
         }
+        let (output, per_server_output) = union_outputs(program, collected)?;
 
         Ok(RunResult { output, rounds, per_server_output, input_bytes })
     }
@@ -148,27 +135,71 @@ impl Cluster {
             servers.iter().map(|s| s.bytes_received_in_round(round)).collect();
         let per_server_tuples: Vec<u64> =
             servers.iter().map(|s| s.tuples_received_in_round(round)).collect();
-        let max_bytes_received = per_server.iter().copied().max().unwrap_or(0);
-        let total_bytes_received: u64 = per_server.iter().sum();
-        let max_tuples_received = per_server_tuples.iter().copied().max().unwrap_or(0);
-        let total_tuples_received: u64 = per_server_tuples.iter().sum();
-        let mean = total_bytes_received as f64 / servers.len().max(1) as f64;
-        RoundStats {
-            round,
-            max_bytes_received,
-            total_bytes_received,
-            max_tuples_received,
-            total_tuples_received,
-            budget_bytes,
-            exceeds_budget: max_bytes_received > budget_bytes,
-            replication_rate: if input_bytes == 0 {
-                0.0
-            } else {
-                total_bytes_received as f64 / input_bytes as f64
-            },
-            balance_ratio: if mean == 0.0 { 1.0 } else { max_bytes_received as f64 / mean },
+        build_round_stats(round, &per_server, &per_server_tuples, input_bytes, budget_bytes)
+    }
+}
+
+/// Aggregate per-server received volumes into a [`RoundStats`] — the one
+/// formula both backends share, so their statistics can never drift
+/// apart.
+pub(crate) fn build_round_stats(
+    round: usize,
+    per_server_bytes: &[u64],
+    per_server_tuples: &[u64],
+    input_bytes: u64,
+    budget_bytes: u64,
+) -> RoundStats {
+    let max_bytes_received = per_server_bytes.iter().copied().max().unwrap_or(0);
+    let total_bytes_received: u64 = per_server_bytes.iter().sum();
+    let max_tuples_received = per_server_tuples.iter().copied().max().unwrap_or(0);
+    let total_tuples_received: u64 = per_server_tuples.iter().sum();
+    let mean = total_bytes_received as f64 / per_server_bytes.len().max(1) as f64;
+    RoundStats {
+        round,
+        max_bytes_received,
+        total_bytes_received,
+        max_tuples_received,
+        total_tuples_received,
+        budget_bytes,
+        exceeds_budget: max_bytes_received > budget_bytes,
+        replication_rate: if input_bytes == 0 {
+            0.0
+        } else {
+            total_bytes_received as f64 / input_bytes as f64
+        },
+        balance_ratio: if mean == 0.0 { 1.0 } else { max_bytes_received as f64 / mean },
+    }
+}
+
+/// The server blamed for an overloaded round: the one that received the
+/// most bytes (ties broken towards the highest id, as `max_by_key`
+/// resolves them — kept identical across backends).
+pub(crate) fn overloaded_server(per_server_bytes: &[u64]) -> (usize, u64) {
+    per_server_bytes.iter().copied().enumerate().max_by_key(|(_, b)| *b).expect("p >= 1")
+}
+
+/// Union the per-server outputs into the final (deduplicated) result
+/// relation, recording each server's pre-deduplication contribution.
+pub(crate) fn union_outputs<P: MpcProgram>(
+    program: &P,
+    outputs: Vec<Relation>,
+) -> Result<(Relation, Vec<usize>)> {
+    let mut output = Relation::empty(program.output_name(), program.output_arity());
+    let mut per_server_output = Vec::with_capacity(outputs.len());
+    for rel in outputs {
+        per_server_output.push(rel.len());
+        if rel.arity() != output.arity() && !rel.is_empty() {
+            return Err(SimError::Program(format!(
+                "server produced output of arity {} but the program declares arity {}",
+                rel.arity(),
+                output.arity()
+            )));
+        }
+        for t in rel.iter() {
+            output.insert(t.clone()).map_err(|e| SimError::Storage(e.to_string()))?;
         }
     }
+    Ok((output, per_server_output))
 }
 
 #[cfg(test)]

@@ -1,0 +1,855 @@
+//! The event-driven backend: every server is an independent task.
+//!
+//! [`Cluster::run`] executes a program round-synchronously — a global
+//! barrier between communication and computation, which is the *reference
+//! semantics* of the MPC model. This module adds [`Cluster::run_async`]:
+//! the same program, the same rounds, but each server runs as its own
+//! scoped thread (the same primitive the workspace's `rayon` shim is built
+//! on) that receives, computes and sends through the bounded per-link
+//! queues of [`crate::queue`], with real backpressure and no global
+//! barrier — a fast server races ahead into the next round while a
+//! straggler still drains the previous one.
+//!
+//! **Protocol.** Round 1 packets come from the input router (one logical
+//! input server per relation, as in the synchronous backend). For a round
+//! `r ≥ 2`, a worker first routes its join tuples (computed from its state
+//! *before* any round-`r` delivery, exactly like the synchronous loop),
+//! sends them — draining its own inbox whenever a peer's lane is full, so
+//! bounded queues can never deadlock — then closes the round towards every
+//! peer with a FIN marker. A worker enters local computation as soon as
+//! *it* has seen every peer's FIN, not when everyone has: the barrier is
+//! per-server. Packets that race ahead (a fast peer's round-`r+1` traffic)
+//! are stashed and delivered when this worker reaches that round.
+//!
+//! **Equivalence.** Because a worker computes exactly when it holds the
+//! same packets the synchronous backend would have delivered to it, the
+//! two backends produce identical join outputs and identical per-round
+//! communication volumes for every [`MpcProgram`]. That is not left to
+//! inspection: [`run_differential`] runs both and
+//! [`DifferentialReport::divergence`] checks outputs, per-round byte and
+//! tuple tallies, and per-server output counts. The integration suite
+//! locks this for the HyperCube, multi-round and skew-resilient programs.
+//! One deliberate difference remains: with
+//! [`crate::MpcConfig::fail_on_overload`] the synchronous backend aborts
+//! *at* the violating round, while the async backend — having no global
+//! view mid-flight — finishes the run and reports the same
+//! [`SimError::Overload`] afterwards. A corollary: if the program itself
+//! errors in a round *after* the overload, the async backend surfaces
+//! that program error (the run unwound before the overload scan could
+//! see complete statistics), where the synchronous backend would have
+//! stopped at the overload first.
+//!
+//! What the async backend adds on top of the [`crate::RunResult`] volumes
+//! is the [`ScheduleStats`] timeline from [`crate::schedule`]: busy /
+//! blocked / idle spans, per-round barrier waits, critical path and
+//! makespan under a configurable [`CostModel`], with deterministic
+//! seeded straggler injection ([`StragglerSpec`]).
+//!
+//! ```
+//! use mpc_sim::{AsyncConfig, Cluster, MpcConfig};
+//! use mpc_sim::program::BroadcastProgram;
+//!
+//! let q = mpc_cq::families::triangle();
+//! let db = mpc_data::matching_database(&q, 100, 7);
+//! let cluster = Cluster::new(MpcConfig::new(4, 1.0))?;
+//! let run = cluster.run_async(&BroadcastProgram::new(q), &db, &AsyncConfig::default())?;
+//!
+//! // Same volumes as the synchronous backend, plus a schedule.
+//! assert_eq!(run.result.num_rounds(), 1);
+//! assert!(run.schedule.makespan >= run.schedule.critical_path);
+//! # Ok::<(), mpc_sim::SimError>(())
+//! ```
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
+
+use mpc_storage::{Database, Relation, Tuple};
+
+use crate::cluster::{build_round_stats, overloaded_server, union_outputs, Cluster};
+use crate::error::SimError;
+use crate::program::MpcProgram;
+use crate::queue::{Inbox, InboxReceiver, LinkSender, SendAttempt};
+use crate::schedule::{self, CostModel, MsgRecord, ScheduleStats, StragglerSpec};
+use crate::server::ServerState;
+use crate::stats::RunResult;
+use crate::Result;
+
+/// How long a sender parks on a full lane before draining its own inbox
+/// and retrying — the event-driven send loop's poll interval.
+const BACKOFF: Duration = Duration::from_micros(200);
+
+/// Configuration of the event-driven backend: transport bounds, the
+/// virtual-clock cost model and optional straggler injection.
+///
+/// ```
+/// use mpc_sim::{AsyncConfig, CostModel, StragglerSpec};
+///
+/// let cfg = AsyncConfig::new()
+///     .with_queue_capacity(16)
+///     .with_cost(CostModel::zero_latency())
+///     .with_straggler(StragglerSpec::new(42, 1, 8));
+/// assert_eq!(cfg.queue_capacity, 16);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsyncConfig {
+    /// Capacity, in packets, of each per-link queue (clamped to ≥ 1).
+    /// Doubles as the per-link send window of the schedule model.
+    pub queue_capacity: usize,
+    /// The virtual-clock cost model for [`ScheduleStats`].
+    pub cost: CostModel,
+    /// Deterministic straggler injection, if any.
+    pub straggler: Option<StragglerSpec>,
+}
+
+impl Default for AsyncConfig {
+    fn default() -> Self {
+        AsyncConfig { queue_capacity: 64, cost: CostModel::default(), straggler: None }
+    }
+}
+
+impl AsyncConfig {
+    /// The default configuration (64-packet lanes, default costs, no
+    /// stragglers).
+    pub fn new() -> Self {
+        AsyncConfig::default()
+    }
+
+    /// Builder-style: set the per-link queue capacity (packets).
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Builder-style: set the cost model.
+    #[must_use]
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Builder-style: inject stragglers.
+    #[must_use]
+    pub fn with_straggler(mut self, spec: StragglerSpec) -> Self {
+        self.straggler = Some(spec);
+        self
+    }
+}
+
+/// The outcome of an event-driven run: the volume statistics every
+/// backend produces, plus the schedule only this backend can see.
+#[derive(Debug, Clone)]
+pub struct AsyncRunResult {
+    /// Output and per-round volume statistics — byte-identical to what
+    /// [`Cluster::run`] produces for the same program and input.
+    pub result: RunResult,
+    /// The virtual-clock timeline of the run.
+    pub schedule: ScheduleStats,
+}
+
+/// Which execution backend [`Cluster::run_backend`] should use.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Backend {
+    /// The round-synchronous reference backend ([`Cluster::run`]).
+    Synchronous,
+    /// The event-driven backend ([`Cluster::run_async`]).
+    EventDriven(AsyncConfig),
+}
+
+impl Backend {
+    /// The event-driven backend with its default configuration.
+    pub fn event_driven() -> Self {
+        Backend::EventDriven(AsyncConfig::default())
+    }
+}
+
+/// A backend-agnostic run outcome: `schedule` is present iff the
+/// event-driven backend ran.
+#[derive(Debug, Clone)]
+pub struct BackendRun {
+    /// Output and per-round volume statistics.
+    pub result: RunResult,
+    /// The schedule, for the event-driven backend.
+    pub schedule: Option<ScheduleStats>,
+}
+
+impl Cluster {
+    /// Execute a program on the backend selected by `backend`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Cluster::run`] / [`Cluster::run_async`].
+    pub fn run_backend<P: MpcProgram>(
+        &self,
+        backend: &Backend,
+        program: &P,
+        db: &Database,
+    ) -> Result<BackendRun> {
+        match backend {
+            Backend::Synchronous => {
+                Ok(BackendRun { result: self.run(program, db)?, schedule: None })
+            }
+            Backend::EventDriven(cfg) => {
+                let run = self.run_async(program, db, cfg)?;
+                Ok(BackendRun { result: run.result, schedule: Some(run.schedule) })
+            }
+        }
+    }
+
+    /// Execute a program on the event-driven backend: one task per
+    /// server, bounded per-link queues, no global barrier.
+    ///
+    /// Join output and per-round volume statistics are identical to
+    /// [`Cluster::run`]; the additional [`ScheduleStats`] describes *when*
+    /// the bytes moved under `async_config`'s cost model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates program errors and out-of-range destinations like the
+    /// synchronous backend. With [`crate::MpcConfig::fail_on_overload`]
+    /// the same [`SimError::Overload`] is returned, but only after the
+    /// run completes (no global mid-flight view exists).
+    pub fn run_async<P: MpcProgram>(
+        &self,
+        program: &P,
+        db: &Database,
+        async_config: &AsyncConfig,
+    ) -> Result<AsyncRunResult> {
+        let p = self.config().p;
+        let input_bytes = db.total_bytes();
+        let budget_bytes = self.config().budget_bytes(input_bytes);
+        let total_rounds = program.num_rounds();
+        if total_rounds == 0 {
+            return Err(SimError::Program("program declares zero rounds".to_string()));
+        }
+        let capacity = async_config.queue_capacity.max(1);
+
+        // One inbox per worker with p + 1 lanes: lane s < p for peer s,
+        // lane p for the input router.
+        let mut lane_senders: Vec<Vec<LinkSender<Packet>>> = Vec::with_capacity(p);
+        let mut receivers: Vec<InboxReceiver<Packet>> = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (senders, rx) = Inbox::new(p + 1, capacity);
+            lane_senders.push(senders);
+            receivers.push(rx);
+        }
+        let input_links: Vec<LinkSender<Packet>> =
+            (0..p).map(|dest| lane_senders[dest][p].clone()).collect();
+        let mut workers: Vec<Worker<'_, P>> = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(id, rx)| Worker {
+                id,
+                p,
+                total_rounds,
+                program,
+                rx,
+                peers: (0..p).map(|dest| lane_senders[dest][id].clone()).collect(),
+                state: ServerState::new(id, db.domain_size()),
+                fins: vec![0; total_rounds],
+                stash: vec![Vec::new(); total_rounds],
+                inbound: Vec::new(),
+                round: 0,
+                aborted: false,
+            })
+            .collect();
+        drop(lane_senders);
+
+        let (input_exit, worker_exits) = std::thread::scope(|scope| {
+            let input_handle = scope.spawn(|| {
+                // Like the workers, the router must broadcast Abort on a
+                // panic inside the program's routing — otherwise every
+                // worker waits forever for the round-1 FIN.
+                catch_unwind(AssertUnwindSafe(|| run_input(program, db, p, &input_links)))
+                    .unwrap_or_else(|_| {
+                        for lane in &input_links {
+                            let _ = lane.force_send(Packet::Abort);
+                        }
+                        Err(Exit::Failed(SimError::Program("input router panicked".to_string())))
+                    })
+            });
+            let handles: Vec<_> =
+                workers.drain(..).map(|worker| scope.spawn(move || worker.run())).collect();
+            let input_exit = input_handle.join().unwrap_or_else(|_| {
+                Err(Exit::Failed(SimError::Program("input router panicked".to_string())))
+            });
+            let worker_exits: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+            (input_exit, worker_exits)
+        });
+
+        // Resolve errors deterministically: input router first, then
+        // workers in id order; cancellations without a recorded cause
+        // become a generic protocol error.
+        let mut reports: Vec<WorkerReport> = Vec::with_capacity(p);
+        let mut cancelled = false;
+        if let Err(exit) = input_exit {
+            match exit {
+                Exit::Failed(e) => return Err(e),
+                Exit::Cancelled => cancelled = true,
+            }
+        }
+        let mut first_failure: Option<SimError> = None;
+        for (id, exit) in worker_exits.into_iter().enumerate() {
+            match exit {
+                Ok(Ok(report)) => reports.push(report),
+                Ok(Err(Exit::Failed(e))) => {
+                    first_failure.get_or_insert(e);
+                }
+                Ok(Err(Exit::Cancelled)) => cancelled = true,
+                Err(_) => {
+                    first_failure.get_or_insert(SimError::Program(format!("worker {id} panicked")));
+                }
+            }
+        }
+        if let Some(e) = first_failure {
+            return Err(e);
+        }
+        if cancelled || reports.len() != p {
+            return Err(SimError::Program(
+                "async run cancelled without a recorded error".to_string(),
+            ));
+        }
+
+        // Volume statistics: same formulas, same data as the synchronous
+        // backend — just gathered from the workers' reports.
+        let mut rounds = Vec::with_capacity(total_rounds);
+        for round in 1..=total_rounds {
+            let per_bytes: Vec<u64> =
+                reports.iter().map(|r| r.per_round_bytes[round - 1]).collect();
+            let per_tuples: Vec<u64> =
+                reports.iter().map(|r| r.per_round_tuples[round - 1]).collect();
+            let stats =
+                build_round_stats(round, &per_bytes, &per_tuples, input_bytes, budget_bytes);
+            if stats.exceeds_budget && self.config().fail_on_overload {
+                let (server, received_bytes) = overloaded_server(&per_bytes);
+                return Err(SimError::Overload { round, server, received_bytes, budget_bytes });
+            }
+            rounds.push(stats);
+        }
+
+        // The schedule: a deterministic virtual-clock replay of the
+        // recorded traffic.
+        let mut traffic: Vec<MsgRecord> = Vec::new();
+        for report in &mut reports {
+            traffic.append(&mut report.inbound);
+        }
+        let (output, per_server_output) =
+            union_outputs(program, reports.into_iter().map(|r| r.output).collect())?;
+        let slowdown = match &async_config.straggler {
+            Some(spec) => spec.slowdown_vector(p),
+            None => vec![1; p],
+        };
+        let sched =
+            schedule::simulate(p, total_rounds, &traffic, &async_config.cost, &slowdown, capacity);
+
+        Ok(AsyncRunResult {
+            result: RunResult { output, rounds, per_server_output, input_bytes },
+            schedule: sched,
+        })
+    }
+}
+
+/// Both backends run on the same program and input, packaged for
+/// comparison.
+#[derive(Debug, Clone)]
+pub struct DifferentialReport {
+    /// The reference run.
+    pub synchronous: RunResult,
+    /// The event-driven run.
+    pub event_driven: AsyncRunResult,
+}
+
+impl DifferentialReport {
+    /// The first observed divergence between the two backends, if any:
+    /// differing outputs, per-round byte/tuple volumes, or per-server
+    /// output counts. `None` means the backends are equivalent on this
+    /// program and input.
+    pub fn divergence(&self) -> Option<String> {
+        let sync = &self.synchronous;
+        let ed = &self.event_driven.result;
+        if !sync.output.same_tuples(&ed.output) {
+            return Some(format!(
+                "outputs differ: {} tuples synchronous vs {} event-driven",
+                sync.output.len(),
+                ed.output.len()
+            ));
+        }
+        if sync.rounds.len() != ed.rounds.len() {
+            return Some(format!(
+                "round counts differ: {} vs {}",
+                sync.rounds.len(),
+                ed.rounds.len()
+            ));
+        }
+        for (a, b) in sync.rounds.iter().zip(&ed.rounds) {
+            if a != b {
+                return Some(format!("round {} volume stats differ: {a:?} vs {b:?}", a.round));
+            }
+        }
+        if sync.per_server_output != ed.per_server_output {
+            return Some("per-server output counts differ".to_string());
+        }
+        None
+    }
+
+    /// True when [`DifferentialReport::divergence`] found nothing.
+    pub fn is_equivalent(&self) -> bool {
+        self.divergence().is_none()
+    }
+}
+
+/// Run `program` on both backends and package the results. This is the
+/// differential-equivalence layer: callers assert
+/// [`DifferentialReport::divergence`] is `None` so the async path can
+/// never silently change semantics.
+///
+/// # Errors
+///
+/// Propagates the first backend error (synchronous first).
+pub fn run_differential<P: MpcProgram>(
+    cluster: &Cluster,
+    program: &P,
+    db: &Database,
+    async_config: &AsyncConfig,
+) -> Result<DifferentialReport> {
+    let synchronous = cluster.run(program, db)?;
+    let event_driven = cluster.run_async(program, db, async_config)?;
+    Ok(DifferentialReport { synchronous, event_driven })
+}
+
+// ---------------------------------------------------------------------------
+// The per-server task.
+// ---------------------------------------------------------------------------
+
+/// A packet on the wire between server tasks.
+#[derive(Debug, Clone)]
+enum Packet {
+    /// A routed tuple for `round`, from worker (or input server) `from`.
+    Tuple { round: usize, from: usize, seq: u64, tag: Arc<str>, tuple: Tuple },
+    /// `from`'s round-`round` traffic towards this receiver is complete.
+    Fin { round: usize },
+    /// Unwind the whole run (a task failed).
+    Abort,
+}
+
+/// Why a task exited without a report.
+#[derive(Debug)]
+enum Exit {
+    /// This task hit an error (already broadcast as [`Packet::Abort`]).
+    Failed(SimError),
+    /// This task was told to unwind by a failing peer.
+    Cancelled,
+}
+
+/// What a finished worker hands back to the coordinator.
+#[derive(Debug)]
+struct WorkerReport {
+    output: Relation,
+    per_round_bytes: Vec<u64>,
+    per_round_tuples: Vec<u64>,
+    inbound: Vec<MsgRecord>,
+}
+
+struct Worker<'a, P: MpcProgram> {
+    id: usize,
+    p: usize,
+    total_rounds: usize,
+    program: &'a P,
+    rx: InboxReceiver<Packet>,
+    /// `peers[dest]` feeds worker `dest`'s inbox (lane = this worker).
+    peers: Vec<LinkSender<Packet>>,
+    state: ServerState,
+    /// FIN markers seen, per round (index `round - 1`).
+    fins: Vec<usize>,
+    /// Tuples that arrived for a round this worker has not reached yet.
+    stash: Vec<Vec<(Arc<str>, Tuple)>>,
+    inbound: Vec<MsgRecord>,
+    /// The round currently being received (0 before the first).
+    round: usize,
+    aborted: bool,
+}
+
+impl<P: MpcProgram> Worker<'_, P> {
+    fn run(mut self) -> std::result::Result<WorkerReport, Exit> {
+        match catch_unwind(AssertUnwindSafe(|| self.run_inner())) {
+            Ok(result) => result,
+            Err(_) => {
+                self.abort_peers();
+                Err(Exit::Failed(SimError::Program(format!("worker {} panicked", self.id))))
+            }
+        }
+    }
+
+    fn run_inner(&mut self) -> std::result::Result<WorkerReport, Exit> {
+        for round in 1..=self.total_rounds {
+            self.round = round;
+            if round >= 2 {
+                // Route from the state *before* any round-`round` delivery
+                // — the tuple-based model's view, as in the synchronous
+                // backend.
+                let routed = self
+                    .program
+                    .route_tuples(round, self.id, &self.state)
+                    .map_err(|e| self.fail(e))?;
+                let mut seq = 0u64;
+                for msg in routed {
+                    let tag: Arc<str> = Arc::from(msg.tag.as_str());
+                    for &dest in &msg.destinations {
+                        if dest >= self.p {
+                            let p = self.p;
+                            return Err(self.fail(SimError::Program(format!(
+                                "destination {dest} out of range for p = {p}"
+                            ))));
+                        }
+                        let pkt = Packet::Tuple {
+                            round,
+                            from: self.id,
+                            seq,
+                            tag: Arc::clone(&tag),
+                            tuple: msg.tuple.clone(),
+                        };
+                        self.send_packet(dest, pkt)?;
+                        seq += 1;
+                    }
+                }
+                for dest in 0..self.p {
+                    self.send_packet(dest, Packet::Fin { round })?;
+                }
+            }
+
+            // Tuples that raced ahead of us are due now.
+            for (tag, tuple) in std::mem::take(&mut self.stash[round - 1]) {
+                self.state.receive(round, &tag, tuple);
+            }
+
+            // The per-server barrier: all of *our* round-`round` inbound.
+            let expected_fins = if round == 1 { 1 } else { self.p };
+            while self.fins[round - 1] < expected_fins {
+                let pkt = self.rx.recv();
+                self.process(pkt)?;
+            }
+
+            let derived =
+                self.program.compute(round, self.id, &self.state).map_err(|e| self.fail(e))?;
+            for rel in derived {
+                self.state.add_local(rel);
+            }
+        }
+
+        let output = self.program.output(self.id, &self.state).map_err(|e| self.fail(e))?;
+        Ok(WorkerReport {
+            output,
+            per_round_bytes: (1..=self.total_rounds)
+                .map(|r| self.state.bytes_received_in_round(r))
+                .collect(),
+            per_round_tuples: (1..=self.total_rounds)
+                .map(|r| self.state.tuples_received_in_round(r))
+                .collect(),
+            inbound: std::mem::take(&mut self.inbound),
+        })
+    }
+
+    /// Handle one inbound packet. Tuples for the current round go into
+    /// the server state; tuples for a future round are stashed.
+    fn process(&mut self, pkt: Packet) -> std::result::Result<(), Exit> {
+        match pkt {
+            Packet::Tuple { round, from, seq, tag, tuple } => {
+                debug_assert!(round >= self.round, "a FIN-closed round cannot still deliver");
+                self.inbound.push(MsgRecord {
+                    round,
+                    from,
+                    to: self.id,
+                    seq,
+                    bytes: tuple.arity() as u64 * 8,
+                });
+                if round == self.round {
+                    self.state.receive(round, &tag, tuple);
+                } else {
+                    self.stash[round - 1].push((tag, tuple));
+                }
+            }
+            Packet::Fin { round } => self.fins[round - 1] += 1,
+            Packet::Abort => {
+                self.aborted = true;
+                return Err(Exit::Cancelled);
+            }
+        }
+        Ok(())
+    }
+
+    /// Send with backpressure, draining our own inbox while the
+    /// destination lane is full — the event-driven loop that makes
+    /// bounded queues deadlock-free.
+    fn send_packet(&mut self, dest: usize, pkt: Packet) -> std::result::Result<(), Exit> {
+        let lane = self.peers[dest].clone();
+        let mut pkt = pkt;
+        loop {
+            if self.aborted {
+                return Err(Exit::Cancelled);
+            }
+            match lane.send_timeout(pkt, BACKOFF) {
+                SendAttempt::Sent => return Ok(()),
+                SendAttempt::Closed(_) => {
+                    self.aborted = true;
+                    return Err(Exit::Cancelled);
+                }
+                SendAttempt::Full(back) => {
+                    pkt = back;
+                    while let Some(inbound) = self.rx.try_recv() {
+                        self.process(inbound)?;
+                    }
+                }
+            }
+        }
+    }
+
+    fn fail(&mut self, e: SimError) -> Exit {
+        self.abort_peers();
+        Exit::Failed(e)
+    }
+
+    fn abort_peers(&mut self) {
+        for lane in &self.peers {
+            let _ = lane.force_send(Packet::Abort);
+        }
+    }
+}
+
+/// The input router: one logical input server per relation (numbered
+/// `p, p+1, …` in the traffic records), all pumped by one task since
+/// round-1 routing is pure.
+fn run_input<P: MpcProgram>(
+    program: &P,
+    db: &Database,
+    p: usize,
+    links: &[LinkSender<Packet>],
+) -> std::result::Result<(), Exit> {
+    let abort_all = |links: &[LinkSender<Packet>]| {
+        for lane in links {
+            let _ = lane.force_send(Packet::Abort);
+        }
+    };
+    for (ri, rel) in db.relations().enumerate() {
+        let routed = match program.route_input(rel, p) {
+            Ok(routed) => routed,
+            Err(e) => {
+                abort_all(links);
+                return Err(Exit::Failed(e));
+            }
+        };
+        let mut seq = 0u64;
+        for msg in routed {
+            let tag: Arc<str> = Arc::from(msg.tag.as_str());
+            for &dest in &msg.destinations {
+                if dest >= p {
+                    abort_all(links);
+                    return Err(Exit::Failed(SimError::Program(format!(
+                        "destination {dest} out of range for p = {p}"
+                    ))));
+                }
+                let pkt = Packet::Tuple {
+                    round: 1,
+                    from: p + ri,
+                    seq,
+                    tag: Arc::clone(&tag),
+                    tuple: msg.tuple.clone(),
+                };
+                if links[dest].send(pkt).is_err() {
+                    return Err(Exit::Cancelled);
+                }
+                seq += 1;
+            }
+        }
+    }
+    for lane in links {
+        if lane.send(Packet::Fin { round: 1 }).is_err() {
+            return Err(Exit::Cancelled);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MpcConfig;
+    use crate::program::BroadcastProgram;
+    use mpc_cq::families;
+    use mpc_data::matching_database;
+    use mpc_storage::join::evaluate;
+
+    #[test]
+    fn broadcast_matches_synchronous_backend() {
+        let q = families::cycle(3);
+        let db = matching_database(&q, 60, 1);
+        let cluster = Cluster::new(MpcConfig::new(4, 1.0)).unwrap();
+        let report =
+            run_differential(&cluster, &BroadcastProgram::new(q.clone()), &db, &AsyncConfig::new())
+                .unwrap();
+        assert_eq!(report.divergence(), None);
+        let expected = evaluate(&q, &db).unwrap();
+        assert!(report.event_driven.result.output.same_tuples(&expected));
+    }
+
+    #[test]
+    fn schedule_covers_every_round_and_partitions_time() {
+        let q = families::triangle();
+        let db = matching_database(&q, 120, 3);
+        let cluster = Cluster::new(MpcConfig::new(8, 1.0)).unwrap();
+        let run = cluster.run_async(&BroadcastProgram::new(q), &db, &AsyncConfig::new()).unwrap();
+        assert_eq!(run.schedule.num_rounds(), run.result.num_rounds());
+        assert!(run.schedule.makespan >= run.schedule.critical_path);
+        for s in &run.schedule.servers {
+            assert!(s.span_partition_holds(), "server {} timeline leaks", s.server);
+        }
+    }
+
+    #[test]
+    fn straggler_injection_slows_the_schedule_not_the_volumes() {
+        let q = families::triangle();
+        let db = matching_database(&q, 200, 5);
+        let cluster = Cluster::new(MpcConfig::new(8, 1.0)).unwrap();
+        let program = BroadcastProgram::new(q);
+        let plain = cluster.run_async(&program, &db, &AsyncConfig::new()).unwrap();
+        let slowed = cluster
+            .run_async(
+                &program,
+                &db,
+                &AsyncConfig::new().with_straggler(StragglerSpec::new(9, 2, 10)),
+            )
+            .unwrap();
+        assert!(slowed.schedule.makespan > plain.schedule.makespan);
+        assert_eq!(slowed.schedule.stragglers.len(), 2);
+        // Volumes are schedule-independent.
+        assert_eq!(plain.result.rounds, slowed.result.rounds);
+    }
+
+    #[test]
+    fn backend_selector_routes_to_both_backends() {
+        let q = families::chain(2);
+        let db = matching_database(&q, 80, 2);
+        let cluster = Cluster::new(MpcConfig::new(4, 0.5)).unwrap();
+        let program = BroadcastProgram::new(q);
+        let sync = cluster.run_backend(&Backend::Synchronous, &program, &db).unwrap();
+        assert!(sync.schedule.is_none());
+        let event = cluster.run_backend(&Backend::event_driven(), &program, &db).unwrap();
+        assert!(event.schedule.is_some());
+        assert!(sync.result.output.same_tuples(&event.result.output));
+    }
+
+    #[test]
+    fn tiny_queue_capacity_still_completes() {
+        // Capacity 1 forces constant backpressure; the drain-while-full
+        // loop must keep everything moving.
+        let q = families::triangle();
+        let db = matching_database(&q, 100, 11);
+        let cluster = Cluster::new(MpcConfig::new(4, 1.0)).unwrap();
+        let program = BroadcastProgram::new(q);
+        let report =
+            run_differential(&cluster, &program, &db, &AsyncConfig::new().with_queue_capacity(1))
+                .unwrap();
+        assert_eq!(report.divergence(), None);
+        assert_eq!(report.event_driven.schedule.queue_window, 1);
+    }
+
+    #[test]
+    fn out_of_range_destination_aborts_cleanly() {
+        struct Bad;
+        impl MpcProgram for Bad {
+            fn num_rounds(&self) -> usize {
+                1
+            }
+            fn route_input(
+                &self,
+                relation: &Relation,
+                p: usize,
+            ) -> crate::Result<Vec<crate::Routed>> {
+                Ok(relation
+                    .iter()
+                    .map(|t| crate::Routed::new("R", t.clone(), vec![p + 3]))
+                    .collect())
+            }
+            fn compute(&self, _: usize, _: usize, _: &ServerState) -> crate::Result<Vec<Relation>> {
+                Ok(Vec::new())
+            }
+            fn output(&self, _: usize, _: &ServerState) -> crate::Result<Relation> {
+                Ok(Relation::empty("out", 1))
+            }
+            fn output_arity(&self) -> usize {
+                1
+            }
+        }
+        let mut db = Database::new(5);
+        db.insert_relation(Relation::from_tuples("R", 1, vec![[1u64]]).unwrap());
+        let cluster = Cluster::new(MpcConfig::new(2, 0.0)).unwrap();
+        let err = cluster.run_async(&Bad, &db, &AsyncConfig::new()).unwrap_err();
+        assert!(matches!(err, SimError::Program(_)));
+    }
+
+    #[test]
+    fn input_router_panic_aborts_instead_of_deadlocking() {
+        struct PanicInput;
+        impl MpcProgram for PanicInput {
+            fn num_rounds(&self) -> usize {
+                1
+            }
+            fn route_input(&self, _: &Relation, _: usize) -> crate::Result<Vec<crate::Routed>> {
+                panic!("routing bug");
+            }
+            fn compute(&self, _: usize, _: usize, _: &ServerState) -> crate::Result<Vec<Relation>> {
+                Ok(Vec::new())
+            }
+            fn output(&self, _: usize, _: &ServerState) -> crate::Result<Relation> {
+                Ok(Relation::empty("out", 1))
+            }
+            fn output_arity(&self) -> usize {
+                1
+            }
+        }
+        let mut db = Database::new(5);
+        db.insert_relation(Relation::from_tuples("R", 1, vec![[1u64]]).unwrap());
+        let cluster = Cluster::new(MpcConfig::new(4, 0.0)).unwrap();
+        // Must return an error, not hang at the round-1 barrier.
+        let err = cluster.run_async(&PanicInput, &db, &AsyncConfig::new()).unwrap_err();
+        assert!(matches!(err, SimError::Program(_)));
+    }
+
+    #[test]
+    fn hard_budget_overload_is_reported_post_hoc() {
+        let q = families::chain(2);
+        let db = matching_database(&q, 200, 2);
+        let cluster = Cluster::new(MpcConfig::new(8, 0.0).with_hard_budget()).unwrap();
+        let err =
+            cluster.run_async(&BroadcastProgram::new(q), &db, &AsyncConfig::new()).unwrap_err();
+        assert!(matches!(err, SimError::Overload { round: 1, .. }));
+    }
+
+    #[test]
+    fn zero_round_program_is_rejected() {
+        struct Zero;
+        impl MpcProgram for Zero {
+            fn num_rounds(&self) -> usize {
+                0
+            }
+            fn route_input(&self, _: &Relation, _: usize) -> crate::Result<Vec<crate::Routed>> {
+                Ok(Vec::new())
+            }
+            fn compute(&self, _: usize, _: usize, _: &ServerState) -> crate::Result<Vec<Relation>> {
+                Ok(Vec::new())
+            }
+            fn output(&self, _: usize, _: &ServerState) -> crate::Result<Relation> {
+                Ok(Relation::empty("out", 1))
+            }
+            fn output_arity(&self) -> usize {
+                1
+            }
+        }
+        let db = Database::new(5);
+        let cluster = Cluster::new(MpcConfig::new(2, 0.0)).unwrap();
+        assert!(matches!(
+            cluster.run_async(&Zero, &db, &AsyncConfig::new()),
+            Err(SimError::Program(_))
+        ));
+    }
+}

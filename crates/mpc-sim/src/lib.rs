@@ -16,6 +16,18 @@
 //! * the number of rounds,
 //! * whether the configured load budget `c · N / p^{1−ε}` was respected.
 //!
+//! Two backends execute programs. [`Cluster::run`] is the
+//! **round-synchronous** reference: a global barrier between delivery and
+//! computation, exactly the model of Section 2.1. [`Cluster::run_async`]
+//! is the **event-driven** backend ([`cluster_async`]): every server is
+//! an independent task over bounded per-link queues ([`queue`]) with
+//! backpressure and no global barrier, producing — on top of the same
+//! volume statistics — a virtual-clock [`ScheduleStats`] timeline
+//! ([`schedule`]): busy/blocked/idle spans, per-round barrier waits,
+//! critical path and makespan, with deterministic straggler injection.
+//! A differential layer ([`cluster_async::run_differential`]) asserts
+//! the two backends agree on outputs and volumes for every program.
+//!
 //! Programs are expressed against the [`MpcProgram`] trait: round 1 routes
 //! base tuples from the input servers (one per relation, Section 2.4);
 //! later rounds may only send *join tuples* whose destinations depend on
@@ -30,18 +42,25 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod cluster_async;
 pub mod config;
 pub mod error;
 pub mod message;
 pub mod program;
+pub mod queue;
+pub mod schedule;
 pub mod server;
 pub mod stats;
 
 pub use cluster::Cluster;
+pub use cluster_async::{
+    run_differential, AsyncConfig, AsyncRunResult, Backend, BackendRun, DifferentialReport,
+};
 pub use config::MpcConfig;
 pub use error::SimError;
 pub use message::Routed;
 pub use program::MpcProgram;
+pub use schedule::{CostModel, MsgRecord, ScheduleStats, ServerTimeline, StragglerSpec};
 pub use server::ServerState;
 pub use stats::{RoundStats, RunResult};
 

@@ -1,0 +1,335 @@
+//! Bounded per-link queues with backpressure — the transport of the
+//! event-driven backend.
+//!
+//! Every server of the async backend owns one [`Inbox`]: a set of bounded
+//! FIFO lanes, one per inbound *link* (one for each peer server plus one
+//! for the input router). Senders hold a [`LinkSender`] onto their lane and
+//! block — or, via [`LinkSender::send_timeout`], back off — when the lane
+//! is full, which is exactly the backpressure a real network stack would
+//! exert. The receiving side drains all lanes through a single
+//! [`InboxReceiver`], waking on the arrival of a packet on any lane.
+//!
+//! Lanes preserve per-sender FIFO order (the property the round protocol
+//! of [`crate::cluster_async`] relies on: a round-`r` tuple from server `s`
+//! is always seen before `s`'s round-`r` FIN marker), while packets from
+//! *different* senders may interleave arbitrarily — as on a real network.
+//!
+//! The queues are built on `std` mutexes and condvars only; no external
+//! dependencies. Capacity is counted in packets, matching the per-link
+//! window of the virtual-clock model in [`crate::schedule`].
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// The shared state of one receiver's inbound lanes.
+#[derive(Debug)]
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    /// Signalled when a packet arrives on any lane (receiver waits here).
+    arrived: Condvar,
+    /// Signalled when the receiver pops a packet or goes away (blocked
+    /// senders wait here).
+    space: Condvar,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    lanes: Vec<VecDeque<T>>,
+    capacity: usize,
+    /// Total packets over all lanes (so the receiver need not scan).
+    pending: usize,
+    /// Cleared when the receiver is dropped; senders then fail fast
+    /// instead of blocking forever.
+    open: bool,
+    /// Round-robin cursor so no lane can starve the others.
+    cursor: usize,
+}
+
+/// Outcome of a non-blocking or bounded-wait send attempt.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SendAttempt<T> {
+    /// The packet was enqueued.
+    Sent,
+    /// The lane is still full after the wait; the packet is handed back so
+    /// the caller can service its own inbox and retry (the event-driven
+    /// send loop of the async backend).
+    Full(T),
+    /// The receiver is gone; the packet is handed back.
+    Closed(T),
+}
+
+/// The sending end of one link into a server's [`Inbox`]. Cloneable:
+/// clones share the same lane (and its capacity).
+#[derive(Debug)]
+pub struct LinkSender<T> {
+    shared: Arc<Shared<T>>,
+    lane: usize,
+}
+
+impl<T> Clone for LinkSender<T> {
+    fn clone(&self) -> Self {
+        LinkSender { shared: Arc::clone(&self.shared), lane: self.lane }
+    }
+}
+
+impl<T> LinkSender<T> {
+    /// Block until the packet is enqueued (backpressure) or the receiver
+    /// is gone.
+    ///
+    /// # Errors
+    ///
+    /// Returns the packet back if the receiver was dropped.
+    pub fn send(&self, value: T) -> Result<(), T> {
+        let mut inner = self.shared.inner.lock().expect("queue mutex poisoned");
+        loop {
+            if !inner.open {
+                return Err(value);
+            }
+            if inner.lanes[self.lane].len() < inner.capacity {
+                inner.lanes[self.lane].push_back(value);
+                inner.pending += 1;
+                self.shared.arrived.notify_one();
+                return Ok(());
+            }
+            inner = self.shared.space.wait(inner).expect("queue mutex poisoned");
+        }
+    }
+
+    /// Wait at most `timeout` for space; on [`SendAttempt::Full`] the
+    /// caller gets the packet back to retry after draining its own inbox.
+    /// Wakeups for *other* lanes of the same inbox do not cut the wait
+    /// short: the deadline is re-armed until this lane has space, the
+    /// timeout truly expires, or the receiver goes away.
+    pub fn send_timeout(&self, value: T, timeout: Duration) -> SendAttempt<T> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut inner = self.shared.inner.lock().expect("queue mutex poisoned");
+        loop {
+            if !inner.open {
+                return SendAttempt::Closed(value);
+            }
+            if inner.lanes[self.lane].len() < inner.capacity {
+                inner.lanes[self.lane].push_back(value);
+                inner.pending += 1;
+                self.shared.arrived.notify_one();
+                return SendAttempt::Sent;
+            }
+            let now = std::time::Instant::now();
+            let Some(remaining) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+            else {
+                return SendAttempt::Full(value);
+            };
+            let (guard, _timed_out) =
+                self.shared.space.wait_timeout(inner, remaining).expect("queue mutex poisoned");
+            inner = guard;
+        }
+    }
+
+    /// Enqueue ignoring the capacity bound. Reserved for control packets
+    /// (aborts) that must never deadlock behind data traffic.
+    ///
+    /// # Errors
+    ///
+    /// Returns the packet back if the receiver was dropped.
+    pub fn force_send(&self, value: T) -> Result<(), T> {
+        let mut inner = self.shared.inner.lock().expect("queue mutex poisoned");
+        if !inner.open {
+            return Err(value);
+        }
+        inner.lanes[self.lane].push_back(value);
+        inner.pending += 1;
+        self.shared.arrived.notify_one();
+        Ok(())
+    }
+}
+
+/// The receiving end of an [`Inbox`]: drains all lanes, fairly.
+#[derive(Debug)]
+pub struct InboxReceiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> InboxReceiver<T> {
+    /// Block until a packet is available on any lane and return it. Lanes
+    /// are polled round-robin so a chatty sender cannot starve the rest.
+    pub fn recv(&self) -> T {
+        let mut inner = self.shared.inner.lock().expect("queue mutex poisoned");
+        loop {
+            if inner.pending > 0 {
+                return self.pop(&mut inner);
+            }
+            inner = self.shared.arrived.wait(inner).expect("queue mutex poisoned");
+        }
+    }
+
+    /// Pop a packet if one is immediately available.
+    pub fn try_recv(&self) -> Option<T> {
+        let mut inner = self.shared.inner.lock().expect("queue mutex poisoned");
+        if inner.pending > 0 {
+            Some(self.pop(&mut inner))
+        } else {
+            None
+        }
+    }
+
+    fn pop(&self, inner: &mut Inner<T>) -> T {
+        let lanes = inner.lanes.len();
+        for step in 0..lanes {
+            let lane = (inner.cursor + step) % lanes;
+            if let Some(v) = inner.lanes[lane].pop_front() {
+                inner.cursor = (lane + 1) % lanes;
+                inner.pending -= 1;
+                // Wake blocked senders only when this pop actually opened
+                // a slot on the drained lane (all senders share one
+                // condvar, so pops on never-full lanes must not stampede
+                // the others). Force-sent packets can leave a lane over
+                // capacity; draining past the bound stays silent too.
+                if inner.lanes[lane].len() == inner.capacity - 1 {
+                    self.shared.space.notify_all();
+                }
+                return v;
+            }
+        }
+        unreachable!("pending > 0 but every lane was empty");
+    }
+}
+
+impl<T> Drop for InboxReceiver<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.inner.lock().expect("queue mutex poisoned");
+        inner.open = false;
+        // Unblock every sender so they observe the closure.
+        drop(inner);
+        self.shared.space.notify_all();
+    }
+}
+
+/// A server's inbound side: `links` bounded FIFO lanes feeding one
+/// receiver.
+#[derive(Debug)]
+pub struct Inbox;
+
+impl Inbox {
+    /// Create an inbox with `links` lanes of `capacity` packets each,
+    /// returning one [`LinkSender`] per lane plus the receiver.
+    ///
+    /// `capacity` is clamped to at least 1 (a zero-capacity lane could
+    /// never transport anything).
+    ///
+    /// ```
+    /// use mpc_sim::queue::Inbox;
+    ///
+    /// let (senders, rx) = Inbox::new(2, 4);
+    /// senders[0].send("from link 0").unwrap();
+    /// senders[1].send("from link 1").unwrap();
+    /// let mut got = vec![rx.recv(), rx.recv()];
+    /// got.sort_unstable();
+    /// assert_eq!(got, ["from link 0", "from link 1"]);
+    /// assert!(rx.try_recv().is_none());
+    /// ```
+    pub fn new<T>(links: usize, capacity: usize) -> (Vec<LinkSender<T>>, InboxReceiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                lanes: (0..links).map(|_| VecDeque::new()).collect(),
+                capacity: capacity.max(1),
+                pending: 0,
+                open: true,
+                cursor: 0,
+            }),
+            arrived: Condvar::new(),
+            space: Condvar::new(),
+        });
+        let senders =
+            (0..links).map(|lane| LinkSender { shared: Arc::clone(&shared), lane }).collect();
+        (senders, InboxReceiver { shared })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_per_lane() {
+        let (senders, rx) = Inbox::new(1, 8);
+        for i in 0..5 {
+            senders[0].send(i).unwrap();
+        }
+        let got: Vec<i32> = (0..5).map(|_| rx.recv()).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn capacity_blocks_and_backpressure_releases() {
+        let (senders, rx) = Inbox::new(1, 2);
+        senders[0].send(1).unwrap();
+        senders[0].send(2).unwrap();
+        // Third send would block: verify via the timeout variant.
+        match senders[0].send_timeout(3, Duration::from_millis(10)) {
+            SendAttempt::Full(v) => assert_eq!(v, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        // Draining frees a slot; a blocked sender completes.
+        let tx = senders[0].clone();
+        let handle = thread::spawn(move || tx.send(3));
+        assert_eq!(rx.recv(), 1);
+        handle.join().unwrap().unwrap();
+        assert_eq!(rx.recv(), 2);
+        assert_eq!(rx.recv(), 3);
+    }
+
+    #[test]
+    fn dropped_receiver_fails_senders_fast() {
+        let (senders, rx) = Inbox::new(1, 1);
+        senders[0].send(7).unwrap();
+        drop(rx);
+        assert_eq!(senders[0].send(8), Err(8));
+        assert!(matches!(
+            senders[0].send_timeout(9, Duration::from_millis(1)),
+            SendAttempt::Closed(9)
+        ));
+        assert_eq!(senders[0].force_send(10), Err(10));
+    }
+
+    #[test]
+    fn force_send_ignores_capacity() {
+        let (senders, rx) = Inbox::new(1, 1);
+        senders[0].send(1).unwrap();
+        senders[0].force_send(2).unwrap();
+        senders[0].force_send(3).unwrap();
+        assert_eq!((rx.recv(), rx.recv(), rx.recv()), (1, 2, 3));
+    }
+
+    #[test]
+    fn round_robin_across_lanes() {
+        let (senders, rx) = Inbox::new(3, 8);
+        // Lane 0 floods; lanes 1 and 2 each send one packet.
+        for _ in 0..4 {
+            senders[0].send("flood").unwrap();
+        }
+        senders[1].send("one").unwrap();
+        senders[2].send("two").unwrap();
+        let first_three: Vec<&str> = (0..3).map(|_| rx.recv()).collect();
+        // Fairness: the single packets are not starved behind the flood.
+        assert!(first_three.contains(&"one"));
+        assert!(first_three.contains(&"two"));
+    }
+
+    #[test]
+    fn many_producers_one_consumer() {
+        let (senders, rx) = Inbox::new(8, 4);
+        let total: usize = thread::scope(|scope| {
+            for (i, tx) in senders.iter().enumerate() {
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    for j in 0..100 {
+                        tx.send(i * 1000 + j).unwrap();
+                    }
+                });
+            }
+            (0..800).map(|_| rx.recv()).count()
+        });
+        assert_eq!(total, 800);
+    }
+}

@@ -33,7 +33,7 @@
 //! | [`lp`] | `mpc-lp` | exact rational simplex, vertex cover / edge packing LPs, τ* |
 //! | [`storage`] | `mpc-storage` | tuples, relations, databases, local joins, size estimates |
 //! | [`data`] | `mpc-data` | matching databases, skewed data, layered graphs |
-//! | [`sim`] | `mpc-sim` | the MPC(ε) cluster simulator and program trait |
+//! | [`sim`] | `mpc-sim` | the MPC(ε) cluster simulator (synchronous + event-driven backends, schedule metrics) and program trait |
 //! | [`core`] | `mpc-core` | HyperCube, shares, space exponents, multi-round plans and bounds |
 //! | [`skew`] | `mpc-skew` | heavy-hitter detection and skew-resilient residual plans |
 //! | [`graph`] | `mpc-graph` | connected components on the MPC model |
@@ -84,7 +84,7 @@ pub mod prelude {
     pub use mpc_cq::{families, parser::parse_query, Query};
     pub use mpc_data::matching_database;
     pub use mpc_lp::Rational;
-    pub use mpc_sim::{Cluster, MpcConfig};
+    pub use mpc_sim::{AsyncConfig, Backend, Cluster, CostModel, MpcConfig, StragglerSpec};
     pub use mpc_skew::{HeavyHitterPolicy, SkewResilient};
     pub use mpc_storage::{Database, Relation, Tuple};
 }
@@ -110,6 +110,10 @@ mod tests {
             _: &Rational,
             _: &Cluster,
             _: &MpcConfig,
+            _: &AsyncConfig,
+            _: &Backend,
+            _: &CostModel,
+            _: &StragglerSpec,
             _: &Database,
             _: &Relation,
             _: &Tuple,

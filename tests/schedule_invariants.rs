@@ -1,0 +1,143 @@
+//! Property tests of the virtual-clock schedule model: a seeded case loop
+//! (the style of `tests/property_invariants.rs`) over random queries,
+//! server counts, cost models, window sizes and straggler draws,
+//! asserting on every run that
+//!
+//! 1. `makespan ≥ critical_path` — backpressure can only delay, never
+//!    accelerate, the pure data-dependency schedule;
+//! 2. each server's busy + blocked + idle spans exactly partition its
+//!    timeline `[0, finish]`;
+//! 3. the schedule covers exactly the synchronous run's rounds, and with
+//!    zero-latency (and any other) cost models the async backend's round
+//!    count matches the synchronous backend's.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mpc_query::core::hypercube::HyperCubeProgram;
+use mpc_query::cq::families;
+use mpc_query::prelude::*;
+use mpc_query::sim::{AsyncConfig, CostModel, ScheduleStats, StragglerSpec};
+
+fn check_invariants(label: &str, stats: &ScheduleStats, sync_rounds: usize) {
+    assert!(
+        stats.makespan >= stats.critical_path,
+        "{label}: makespan {} below critical path {}",
+        stats.makespan,
+        stats.critical_path
+    );
+    for s in &stats.servers {
+        assert!(
+            s.span_partition_holds(),
+            "{label}: server {}: busy {} + blocked {} + idle {} != finish {}",
+            s.server,
+            s.busy,
+            s.blocked,
+            s.idle,
+            s.finish
+        );
+        assert_eq!(
+            s.round_finish.len(),
+            sync_rounds,
+            "{label}: server {} round timeline length",
+            s.server
+        );
+        // Round finishes are non-decreasing and end at the server's
+        // finish time.
+        for w in s.round_finish.windows(2) {
+            assert!(w[0] <= w[1], "{label}: round finishes must be monotone");
+        }
+        assert_eq!(s.round_finish.last().copied().unwrap_or(0), s.finish);
+    }
+    assert_eq!(stats.num_rounds(), sync_rounds, "{label}: schedule round count");
+    let eff = stats.schedule_efficiency();
+    assert!((0.0..=1.0).contains(&eff), "{label}: efficiency {eff} out of range");
+}
+
+#[test]
+fn seeded_schedule_property_loop() {
+    let mut rng = StdRng::seed_from_u64(0xA57C);
+    for case in 0..24 {
+        // A random query family instance, sized to stay fast.
+        let q = match rng.gen_range(0..4usize) {
+            0 => families::chain(rng.gen_range(2..5)),
+            1 => families::cycle(rng.gen_range(3..5)),
+            2 => families::star(rng.gen_range(2..4)),
+            _ => families::triangle(),
+        };
+        let n = rng.gen_range(100..400u64);
+        let p = [4usize, 8, 9, 16][rng.gen_range(0..4usize)];
+        let db = matching_database(&q, n, rng.gen());
+        let program = match HyperCubeProgram::new(&q, p, rng.gen()) {
+            Ok(program) => program,
+            Err(e) => panic!("case {case}: allocation failed for {}: {e}", q.name()),
+        };
+        let cfg = MpcConfig::new(p, 1.0);
+        let cluster = Cluster::new(cfg).unwrap();
+        let sync_rounds = cluster.run(&program, &db).unwrap().num_rounds();
+
+        let cost = match rng.gen_range(0..3usize) {
+            0 => CostModel::default(),
+            1 => CostModel::zero_latency(),
+            _ => CostModel {
+                link_latency: rng.gen_range(0..16),
+                send_ticks_per_byte: rng.gen_range(0..4),
+                recv_ticks_per_byte: rng.gen_range(0..4),
+                compute_ticks_per_tuple: rng.gen_range(0..16),
+                round_overhead: rng.gen_range(0..64),
+            },
+        };
+        let mut async_cfg =
+            AsyncConfig::new().with_queue_capacity(1 << rng.gen_range(0..7usize)).with_cost(cost);
+        if rng.gen_bool(0.5) {
+            async_cfg = async_cfg.with_straggler(StragglerSpec::new(
+                rng.gen(),
+                rng.gen_range(0..3),
+                rng.gen_range(1..10),
+            ));
+        }
+
+        let label = format!("case {case} ({}, p = {p})", q.name());
+        let run = cluster.run_async(&program, &db, &async_cfg).unwrap();
+        check_invariants(&label, &run.schedule, sync_rounds);
+    }
+}
+
+#[test]
+fn zero_latency_matches_synchronous_round_count_on_multi_round_plans() {
+    use mpc_query::core::multiround::executor::PlanProgram;
+
+    for (q, p) in [(families::chain(4), 16usize), (families::chain(8), 8), (families::cycle(6), 8)]
+    {
+        let plan = MultiRoundPlan::build(&q, Rational::ZERO).unwrap();
+        let program = PlanProgram::new(&plan, p, 3).unwrap();
+        let db = matching_database(&q, 400, 7);
+        let cluster = Cluster::new(MpcConfig::new(p, 0.0)).unwrap();
+        let sync = cluster.run(&program, &db).unwrap();
+        let run = cluster
+            .run_async(&program, &db, &AsyncConfig::new().with_cost(CostModel::zero_latency()))
+            .unwrap();
+        assert_eq!(run.result.num_rounds(), sync.num_rounds());
+        check_invariants(&format!("zero-latency {}", q.name()), &run.schedule, sync.num_rounds());
+    }
+}
+
+#[test]
+fn barrier_wait_reflects_injected_stragglers() {
+    // One straggler, heavy slowdown: the per-round spread must grow
+    // relative to the uninjected schedule.
+    let q = families::triangle();
+    let db = matching_database(&q, 800, 3);
+    let program = HyperCubeProgram::new(&q, 27, 1).unwrap();
+    let cluster = Cluster::new(MpcConfig::new(27, 1.0 / 3.0)).unwrap();
+    let plain = cluster.run_async(&program, &db, &AsyncConfig::new()).unwrap();
+    let slowed = cluster
+        .run_async(&program, &db, &AsyncConfig::new().with_straggler(StragglerSpec::new(5, 1, 16)))
+        .unwrap();
+    assert!(slowed.schedule.max_barrier_wait() > plain.schedule.max_barrier_wait());
+    // The straggler is the last server to finish.
+    let straggler = slowed.schedule.stragglers[0];
+    let finish =
+        |s: &ScheduleStats| s.servers.iter().max_by_key(|t| t.finish).map(|t| t.server).unwrap();
+    assert_eq!(finish(&slowed.schedule), straggler);
+}
