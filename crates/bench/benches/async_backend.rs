@@ -164,7 +164,7 @@ fn write_bench_json() {
     rows.push(BenchRow {
         name: format!("schedule_replay/{}msgs", traffic.len()),
         mean_ns: time_ns(
-            || drop(simulate(16, 2, &traffic, &CostModel::default(), &vec![1u64; 16], 16)),
+            || drop(simulate(16, 2, &traffic, &CostModel::default(), &[1u64; 16], 16)),
             iters,
         ),
         iterations: iters,

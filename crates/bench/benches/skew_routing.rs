@@ -1,5 +1,5 @@
-//! Criterion bench: skew-resilient routing (detection + residual planning
-//! + shuffle + local join) versus vanilla HyperCube on identical skewed
+//! Criterion bench: skew-resilient routing (detection, residual planning,
+//! shuffle and local join) versus vanilla HyperCube on identical skewed
 //! inputs, across Zipf exponents and server counts.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

@@ -99,7 +99,7 @@ fn main() {
         families::binomial(4, 2).expect("valid parameters"),
     ];
     // LP-only sweep rows: ≥3× the family sizes of the original table.
-    let sweep_queries = vec![
+    let sweep_queries = [
         families::cycle(k),
         families::chain(k),
         families::star(k),

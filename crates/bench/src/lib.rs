@@ -117,6 +117,21 @@ pub fn arg_usize(name: &str, default: usize) -> usize {
     default
 }
 
+/// Parse `--<name> <f64>` (default `default`), accepting only values for
+/// which `accept` holds (e.g. positivity): the float twin of
+/// [`arg_usize`], shared by `--scale`, `--slack` and future flags.
+pub fn arg_f64(name: &str, default: f64, accept: fn(f64) -> bool) -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == name) {
+        if let Some(v) = args.get(pos + 1).and_then(|s| s.parse::<f64>().ok()) {
+            if accept(v) {
+                return v;
+            }
+        }
+    }
+    default
+}
+
 /// Cross-check every LP solver path on `q`: the dense tableau oracle, the
 /// sparse revised simplex, and (when the family is recognised) the
 /// closed form must agree **exactly** — rational equality of `τ*` and of
@@ -184,15 +199,7 @@ pub fn fmt_weights(weights: &[String]) -> String {
 /// Parse `--scale <f64>` (default 1.0): all experiment binaries accept it
 /// to shrink or grow the workload sizes.
 pub fn scale_factor() -> f64 {
-    let args: Vec<String> = std::env::args().collect();
-    if let Some(pos) = args.iter().position(|a| a == "--scale") {
-        if let Some(v) = args.get(pos + 1).and_then(|s| s.parse::<f64>().ok()) {
-            if v > 0.0 {
-                return v;
-            }
-        }
-    }
-    1.0
+    arg_f64("--scale", 1.0, |v| v > 0.0)
 }
 
 /// Scale an integer workload parameter by the `--scale` factor, with a

@@ -6,8 +6,10 @@ use serde::Serialize;
 use mpc_cq::Query;
 use mpc_lp::{QueryLps, Rational};
 
+use crate::multiround::load::PlanLoadPrediction;
 use crate::multiround::lower_bound::round_lower_bound;
 use crate::multiround::planner::{round_upper_bound, MultiRoundPlan};
+use crate::output_sensitive::OutputSensitiveBounds;
 use crate::shares::ShareAllocation;
 use crate::Result;
 
@@ -51,6 +53,12 @@ pub struct QueryAnalysis {
     pub vertex_cover: Vec<Rational>,
     /// An optimal fractional edge packing (one weight per atom).
     pub edge_packing: Vec<Rational>,
+    /// An optimal fractional edge cover (one weight per atom) — the AGM
+    /// exponents used by the output-sensitive bounds.
+    pub edge_cover: Vec<Rational>,
+    /// The fractional edge-cover value `ρ*` (the AGM exponent of the
+    /// journal version's emission lower bound).
+    pub rho_star: Rational,
     /// The one-round space exponent `ε* = 1 − 1/τ*`.
     pub space_exponent: Rational,
     /// Share exponents `vᵢ/τ*` (Section 3.1), one per variable.
@@ -100,10 +108,11 @@ impl QueryAnalysis {
             tau_star: tau,
             vertex_cover: lps.vertex_cover().weights().to_vec(),
             edge_packing: lps.edge_packing().weights().to_vec(),
+            edge_cover: lps.edge_cover().weights().to_vec(),
+            rho_star: lps.edge_cover().total(),
             space_exponent,
             share_exponents,
-            expected_answer_exponent: q.num_vars() as i64 + q.num_atoms() as i64
-                - q.total_arity() as i64,
+            expected_answer_exponent: mpc_storage::estimate::expected_answer_exponent(q),
             lp_solver_path: path.to_string(),
             query: q.clone(),
         })
@@ -134,6 +143,40 @@ impl QueryAnalysis {
         let plan = MultiRoundPlan::build(&self.query, epsilon)?;
         let radius_upper = round_upper_bound(&self.query, epsilon)?;
         Ok(RoundBounds { lower, plan_depth: plan.num_rounds(), radius_upper })
+    }
+
+    /// The journal version's output-sensitive load bounds at `(n, m, p)`,
+    /// built from this analysis' already-solved LP duals (no re-solve).
+    ///
+    /// # Errors
+    ///
+    /// Propagates rational-arithmetic errors.
+    pub fn output_bounds(&self, n: u64, m: u64, p: usize) -> Result<OutputSensitiveBounds> {
+        OutputSensitiveBounds::from_lp_values(
+            self.tau_star,
+            self.rho_star,
+            self.expected_answer_exponent,
+            self.num_atoms,
+            n,
+            m,
+            p,
+        )
+    }
+
+    /// The journal version's refined multi-round analysis: plan the query
+    /// at `epsilon` and predict the per-round per-server loads on `p`
+    /// servers over `n`-tuple base relations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning and LP errors.
+    pub fn round_load_profile(
+        &self,
+        epsilon: Rational,
+        p: usize,
+        n: u64,
+    ) -> Result<PlanLoadPrediction> {
+        MultiRoundPlan::build(&self.query, epsilon)?.predict_loads(p, n)
     }
 
     /// Human-readable one-line summary (used by the table binaries).
@@ -241,6 +284,36 @@ mod tests {
         );
         let w2 = QueryAnalysis::analyze(&families::witness_query()).unwrap();
         assert_eq!(w2.lp_solver_path, "cache-hit");
+    }
+
+    #[test]
+    fn edge_cover_and_rho_star_are_exposed() {
+        // T3: packing value 1 but edge cover 3 (one unit per leaf atom).
+        let a = QueryAnalysis::analyze(&families::star(3)).unwrap();
+        assert_eq!(a.rho_star, r(3, 1));
+        assert_eq!(a.edge_cover.len(), a.num_atoms);
+        assert_eq!(Rational::sum(a.edge_cover.iter()).unwrap(), a.rho_star);
+        // C4: cover and packing coincide at 2.
+        let a = QueryAnalysis::analyze(&families::cycle(4)).unwrap();
+        assert_eq!(a.rho_star, r(2, 1));
+    }
+
+    #[test]
+    fn output_bounds_reuse_the_analysis_duals() {
+        let a = QueryAnalysis::analyze(&families::cycle(3)).unwrap();
+        let b = a.output_bounds(1000, 1000, 8).unwrap();
+        assert_eq!(b.tau_star, a.tau_star);
+        assert_eq!(b.rho_star, a.rho_star);
+        // (1000/8)^(2/3) = 25.
+        assert!((b.lower_tuples - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn round_load_profile_covers_every_plan_round() {
+        let a = QueryAnalysis::analyze(&families::chain(8)).unwrap();
+        let profile = a.round_load_profile(Rational::ZERO, 8, 500).unwrap();
+        assert_eq!(profile.rounds.len(), 3); // ⌈log₂ 8⌉
+        assert!(profile.max_predicted_tuples() > 0.0);
     }
 
     #[test]

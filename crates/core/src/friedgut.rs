@@ -114,7 +114,7 @@ pub fn weighted_sides(
     for v in q.var_ids() {
         let mut total = Rational::ZERO;
         for a in q.atoms_of_var(v) {
-            total = total + cover[a.0];
+            total += cover[a.0];
         }
         if total < Rational::ONE {
             return Err(CoreError::InvalidPlan(format!(

@@ -19,9 +19,13 @@
 //! * [`space_exponent`] — `ε*(q) = 1 − 1/τ*(q)` and the one-round class
 //!   `Γ¹_ε` (Theorem 1.1, Corollary 3.10).
 //! * [`multiround`] — multi-round query plans (`Γ^r_ε`, Lemma 4.3 /
-//!   Example 4.2), their execution on the simulator, and the round lower
+//!   Example 4.2), their execution on the simulator, the round lower
 //!   bounds from ε-good sets and (ε,r)-plans (Definition 4.4,
-//!   Theorem 4.5, Corollary 4.8, Lemma 4.9).
+//!   Theorem 4.5, Corollary 4.8, Lemma 4.9), and the journal version's
+//!   per-round load predictions ([`multiround::load`]).
+//! * [`output_sensitive`] — the journal version's output-sensitive load
+//!   bounds parameterised by `(n, m, p)` (arXiv:1602.06236), with exact
+//!   rational exponents read off the LP duals.
 //! * [`analysis`] — the one-stop [`analysis::QueryAnalysis`] report used by
 //!   the Table 1 / Table 2 reproduction binaries.
 //!
@@ -51,6 +55,7 @@ pub mod error;
 pub mod friedgut;
 pub mod hypercube;
 pub mod multiround;
+pub mod output_sensitive;
 pub mod shares;
 pub mod space_exponent;
 
@@ -64,7 +69,9 @@ pub mod prelude {
     pub use crate::analysis::QueryAnalysis;
     pub use crate::hypercube::{HyperCube, PartialHyperCube};
     pub use crate::multiround::executor::PlanProgram;
+    pub use crate::multiround::load::PlanLoadPrediction;
     pub use crate::multiround::planner::MultiRoundPlan;
+    pub use crate::output_sensitive::OutputSensitiveBounds;
     pub use crate::shares::ShareAllocation;
     pub use crate::space_exponent::{gamma_one_contains, space_exponent};
     pub use mpc_lp::Rational;

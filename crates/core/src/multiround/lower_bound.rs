@@ -165,10 +165,7 @@ pub fn find_er_plan(q: &Query, epsilon: Rational) -> Result<Option<ErPlan>> {
     let mut steps: Vec<Vec<String>> = Vec::new();
     let mut current = q.clone();
 
-    loop {
-        let Some(good) = greedy_good_set(&current, epsilon)? else {
-            break;
-        };
+    while let Some(good) = greedy_good_set(&current, epsilon)? {
         if good.len() < 2 {
             break;
         }

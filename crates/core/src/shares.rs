@@ -272,7 +272,7 @@ fn round_shares(exponents: &[Rational], p: usize) -> Vec<usize> {
                 continue;
             }
             let deficit = ideal[i] / shares[i] as f64;
-            if best.map_or(true, |(_, d)| deficit > d) {
+            if best.is_none_or(|(_, d)| deficit > d) {
                 best = Some((i, deficit));
             }
         }

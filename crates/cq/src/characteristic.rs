@@ -153,7 +153,7 @@ mod tests {
         let total = q.characteristic();
         let sum: i64 = q.connected_component_queries().iter().map(Query::characteristic).sum();
         assert_eq!(total, sum);
-        assert_eq!(total, 0 + -1);
+        assert_eq!(total, -1);
     }
 
     #[test]

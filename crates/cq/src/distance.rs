@@ -89,7 +89,7 @@ impl Query {
         let mut best: Option<(usize, VarId)> = None;
         for v in self.var_ids() {
             let ecc = self.eccentricity(v)?;
-            if best.map_or(true, |(b, _)| ecc < b) {
+            if best.is_none_or(|(b, _)| ecc < b) {
                 best = Some((ecc, v));
             }
         }

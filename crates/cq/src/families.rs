@@ -293,7 +293,7 @@ fn try_cycle(q: &Query, edges: &[BTreeSet<VarId>], degree: &[usize]) -> Option<R
 
 fn try_spoke(q: &Query, edges: &[BTreeSet<VarId>], degree: &[usize]) -> Option<RecognizedFamily> {
     let l = edges.len();
-    if !all_binary(edges) || l % 2 != 0 || l == 0 {
+    if !all_binary(edges) || !l.is_multiple_of(2) || l == 0 {
         return None;
     }
     let k = l / 2;

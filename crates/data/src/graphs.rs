@@ -215,7 +215,7 @@ mod tests {
         let labels = g.ground_truth_labels();
         assert_eq!(labels.len() as u64, g.num_vertices());
         // Labels are first-layer ids.
-        assert!(labels.values().all(|&l| l >= 1 && l <= 6));
+        assert!(labels.values().all(|&l| (1..=6).contains(&l)));
         // Exactly 6 distinct labels.
         let distinct: std::collections::BTreeSet<_> = labels.values().collect();
         assert_eq!(distinct.len(), 6);

@@ -14,6 +14,9 @@
 //!   (Theorem 4.10): layered path graphs whose components correspond to
 //!   `L_k` answers, plus sparse/dense random graphs for the contrast with
 //!   the dense-graph `O(1)`-round algorithms.
+//! * [`planted`] — databases with an **exactly controlled output
+//!   cardinality** (`|q(I)| = m` by construction), used by the
+//!   output-sensitive sweep of the journal version (arXiv:1602.06236).
 //!
 //! All generators are deterministic given a seed.
 
@@ -22,7 +25,9 @@
 
 pub mod graphs;
 pub mod matching;
+pub mod planted;
 pub mod skew;
 
 pub use graphs::LayeredGraph;
 pub use matching::{matching_database, matching_relation};
+pub use planted::{output_controlled_database, PlantedJoin};

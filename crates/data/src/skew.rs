@@ -146,6 +146,21 @@ pub fn frequency_histogram(rel: &Relation, idx: usize) -> BTreeMap<u64, usize> {
     counts
 }
 
+/// Exact frequency histograms of **every** column of a relation, built in
+/// a single scan. The heavy-hitter detector (and any other per-column
+/// statistics consumer) uses this instead of re-scanning the relation once
+/// per column with [`frequency_histogram`] — one shared cardinality pass
+/// for `mpc-data` and `mpc-skew`.
+pub fn frequency_histograms(rel: &Relation) -> Vec<BTreeMap<u64, usize>> {
+    let mut columns: Vec<BTreeMap<u64, usize>> = vec![BTreeMap::new(); rel.arity()];
+    for t in rel.iter() {
+        for (idx, value) in t.values().iter().enumerate() {
+            *columns[idx].entry(*value).or_insert(0usize) += 1;
+        }
+    }
+    columns
+}
+
 /// Measure the *skew* of one column of a relation: the ratio between the
 /// most frequent value's count and the mean count over the values that
 /// actually **occur** in that column (not over the whole domain `[n]`), so
@@ -239,6 +254,18 @@ mod tests {
         let col1 = frequency_histogram(&rel, 1);
         assert_eq!(col1.get(&7), Some(&2));
         assert_eq!(col1.len(), 2);
+    }
+
+    #[test]
+    fn one_pass_histograms_agree_with_per_column() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let rel = zipf_relation("Z", 500, 900, 1.1, &mut rng);
+        let all = frequency_histograms(&rel);
+        assert_eq!(all.len(), 2);
+        for (idx, histogram) in all.iter().enumerate() {
+            assert_eq!(*histogram, frequency_histogram(&rel, idx), "column {idx}");
+        }
+        assert!(frequency_histograms(&Relation::empty("E", 3)).iter().all(BTreeMap::is_empty));
     }
 
     #[test]

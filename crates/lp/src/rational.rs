@@ -396,7 +396,7 @@ mod tests {
 
     #[test]
     fn summation() {
-        let xs = vec![Rational::new(1, 2), Rational::new(1, 3), Rational::new(1, 6)];
+        let xs = [Rational::new(1, 2), Rational::new(1, 3), Rational::new(1, 6)];
         assert_eq!(Rational::sum(xs.iter()).unwrap(), Rational::ONE);
         let empty: Vec<Rational> = vec![];
         assert_eq!(Rational::sum(empty.iter()).unwrap(), Rational::ZERO);

@@ -362,7 +362,7 @@ impl Solver {
                     let rcf = rc.to_f64();
                     let score = rcf * rcf / (1.0 + norm);
                     let score = if score.is_finite() { score } else { 0.0 };
-                    if best.as_ref().map_or(true, |(_, _, s)| score > *s) {
+                    if best.as_ref().is_none_or(|(_, _, s)| score > *s) {
                         best = Some((*j, d, score));
                     }
                 }
@@ -375,8 +375,7 @@ impl Solver {
             // entering column meets them: this drives artificials out and
             // keeps them at zero in phase 2.
             let mut leaving: Option<(usize, Rational)> = None;
-            for i in 0..self.m {
-                let di = d[i];
+            for (i, &di) in d.iter().enumerate().take(self.m) {
                 let eligible = di.is_positive()
                     || (self.basis[i] >= self.n_real && self.x_b[i].is_zero() && !di.is_zero());
                 if !eligible {

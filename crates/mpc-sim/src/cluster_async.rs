@@ -230,7 +230,7 @@ impl Cluster {
         let mut lane_senders: Vec<Vec<LinkSender<Packet>>> = Vec::with_capacity(p);
         let mut receivers: Vec<InboxReceiver<Packet>> = Vec::with_capacity(p);
         for _ in 0..p {
-            let (senders, rx) = Inbox::new(p + 1, capacity);
+            let (senders, rx) = Inbox::channel(p + 1, capacity);
             lane_senders.push(senders);
             receivers.push(rx);
         }

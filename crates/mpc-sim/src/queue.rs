@@ -210,8 +210,10 @@ impl<T> Drop for InboxReceiver<T> {
 pub struct Inbox;
 
 impl Inbox {
-    /// Create an inbox with `links` lanes of `capacity` packets each,
-    /// returning one [`LinkSender`] per lane plus the receiver.
+    /// Open an inbox with `links` lanes of `capacity` packets each,
+    /// returning one [`LinkSender`] per lane plus the receiver (named
+    /// `channel` rather than `new` because it returns the two endpoints,
+    /// not an `Inbox`).
     ///
     /// `capacity` is clamped to at least 1 (a zero-capacity lane could
     /// never transport anything).
@@ -219,7 +221,7 @@ impl Inbox {
     /// ```
     /// use mpc_sim::queue::Inbox;
     ///
-    /// let (senders, rx) = Inbox::new(2, 4);
+    /// let (senders, rx) = Inbox::channel(2, 4);
     /// senders[0].send("from link 0").unwrap();
     /// senders[1].send("from link 1").unwrap();
     /// let mut got = vec![rx.recv(), rx.recv()];
@@ -227,7 +229,7 @@ impl Inbox {
     /// assert_eq!(got, ["from link 0", "from link 1"]);
     /// assert!(rx.try_recv().is_none());
     /// ```
-    pub fn new<T>(links: usize, capacity: usize) -> (Vec<LinkSender<T>>, InboxReceiver<T>) {
+    pub fn channel<T>(links: usize, capacity: usize) -> (Vec<LinkSender<T>>, InboxReceiver<T>) {
         let shared = Arc::new(Shared {
             inner: Mutex::new(Inner {
                 lanes: (0..links).map(|_| VecDeque::new()).collect(),
@@ -252,7 +254,7 @@ mod tests {
 
     #[test]
     fn fifo_per_lane() {
-        let (senders, rx) = Inbox::new(1, 8);
+        let (senders, rx) = Inbox::channel(1, 8);
         for i in 0..5 {
             senders[0].send(i).unwrap();
         }
@@ -262,7 +264,7 @@ mod tests {
 
     #[test]
     fn capacity_blocks_and_backpressure_releases() {
-        let (senders, rx) = Inbox::new(1, 2);
+        let (senders, rx) = Inbox::channel(1, 2);
         senders[0].send(1).unwrap();
         senders[0].send(2).unwrap();
         // Third send would block: verify via the timeout variant.
@@ -281,7 +283,7 @@ mod tests {
 
     #[test]
     fn dropped_receiver_fails_senders_fast() {
-        let (senders, rx) = Inbox::new(1, 1);
+        let (senders, rx) = Inbox::channel(1, 1);
         senders[0].send(7).unwrap();
         drop(rx);
         assert_eq!(senders[0].send(8), Err(8));
@@ -294,7 +296,7 @@ mod tests {
 
     #[test]
     fn force_send_ignores_capacity() {
-        let (senders, rx) = Inbox::new(1, 1);
+        let (senders, rx) = Inbox::channel(1, 1);
         senders[0].send(1).unwrap();
         senders[0].force_send(2).unwrap();
         senders[0].force_send(3).unwrap();
@@ -303,7 +305,7 @@ mod tests {
 
     #[test]
     fn round_robin_across_lanes() {
-        let (senders, rx) = Inbox::new(3, 8);
+        let (senders, rx) = Inbox::channel(3, 8);
         // Lane 0 floods; lanes 1 and 2 each send one packet.
         for _ in 0..4 {
             senders[0].send("flood").unwrap();
@@ -318,7 +320,7 @@ mod tests {
 
     #[test]
     fn many_producers_one_consumer() {
-        let (senders, rx) = Inbox::new(8, 4);
+        let (senders, rx) = Inbox::channel(8, 4);
         let total: usize = thread::scope(|scope| {
             for (i, tx) in senders.iter().enumerate() {
                 let tx = tx.clone();
@@ -328,7 +330,7 @@ mod tests {
                     }
                 });
             }
-            (0..800).map(|_| rx.recv()).count()
+            (0..800).map(|_| rx.recv()).collect::<Vec<_>>().len()
         });
         assert_eq!(total, 800);
     }

@@ -21,7 +21,7 @@ use std::collections::BTreeSet;
 
 use mpc_core::shares::ShareAllocation;
 use mpc_cq::{Query, VarId};
-use mpc_data::skew::frequency_histogram;
+use mpc_data::skew::frequency_histograms;
 use mpc_storage::Database;
 
 use crate::Result;
@@ -174,16 +174,23 @@ impl HeavyHitterDetector {
             if rel.is_empty() {
                 continue;
             }
+            // One shared statistics pass per relation (all columns at
+            // once) instead of one scan per column — but only when some
+            // column can actually qualify (share > 1 and a positive
+            // threshold), so atoms of unpartitioned variables cost no scan.
+            let qualifies =
+                |share: usize| share > 1 && self.policy.threshold(rel.len(), share) > 0.0;
+            if !atom.vars.iter().any(|var| qualifies(alloc.share(*var))) {
+                continue;
+            }
+            let histograms = frequency_histograms(rel);
             for (pos, var) in atom.vars.iter().enumerate() {
                 let share = alloc.share(*var);
-                if share <= 1 {
+                if !qualifies(share) {
                     continue;
                 }
                 let threshold = self.policy.threshold(rel.len(), share);
-                if threshold <= 0.0 {
-                    continue;
-                }
-                for (value, count) in frequency_histogram(rel, pos) {
+                for (&value, &count) in &histograms[pos] {
                     if count as f64 > threshold {
                         heavy.insert(*var, value, count as f64 / threshold);
                     }

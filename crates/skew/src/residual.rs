@@ -402,7 +402,7 @@ fn greedy_shares(
             shares[v] += 1;
             let load = estimated_load(q, heavy_vars, pattern_counts, &shares);
             shares[v] -= 1;
-            if load < current && best.map_or(true, |(_, b)| load < b) {
+            if load < current && best.is_none_or(|(_, b)| load < b) {
                 best = Some((v, load));
             }
         }

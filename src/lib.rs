@@ -78,11 +78,13 @@ pub mod prelude {
     pub use mpc_core::analysis::QueryAnalysis;
     pub use mpc_core::hypercube::{HyperCube, PartialHyperCube};
     pub use mpc_core::multiround::executor::MultiRound;
+    pub use mpc_core::multiround::load::PlanLoadPrediction;
     pub use mpc_core::multiround::planner::MultiRoundPlan;
+    pub use mpc_core::output_sensitive::OutputSensitiveBounds;
     pub use mpc_core::shares::ShareAllocation;
     pub use mpc_core::space_exponent::{gamma_one_contains, space_exponent};
     pub use mpc_cq::{families, parser::parse_query, Query};
-    pub use mpc_data::matching_database;
+    pub use mpc_data::{matching_database, output_controlled_database};
     pub use mpc_lp::Rational;
     pub use mpc_sim::{AsyncConfig, Backend, Cluster, CostModel, MpcConfig, StragglerSpec};
     pub use mpc_skew::{HeavyHitterPolicy, SkewResilient};
@@ -99,12 +101,15 @@ mod tests {
     /// bindings observably alive.
     #[test]
     fn prelude_symbols_resolve() {
+        #[allow(clippy::too_many_arguments)] // one parameter per advertised type
         fn _takes_types(
             _: &QueryAnalysis,
             _: &HyperCube,
             _: &PartialHyperCube,
             _: &MultiRound,
             _: &MultiRoundPlan,
+            _: &PlanLoadPrediction,
+            _: &OutputSensitiveBounds,
             _: &ShareAllocation,
             _: &Query,
             _: &Rational,
@@ -123,6 +128,8 @@ mod tests {
         }
         let _parse: fn(&str) -> Result<Query, crate::cq::CqError> = parse_query;
         let _matching: fn(&Query, u64, u64) -> Database = matching_database;
+        let _planted: fn(&Query, u64, u64, u64) -> crate::data::PlantedJoin =
+            output_controlled_database;
         let _gamma: fn(&Query, Rational) -> Result<bool, crate::core::CoreError> =
             gamma_one_contains;
         let _eps: fn(&Query) -> Result<Rational, crate::core::CoreError> = space_exponent;
