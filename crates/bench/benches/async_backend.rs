@@ -81,7 +81,7 @@ fn all_to_all(p: usize, rounds: usize, m: usize) -> Vec<MsgRecord> {
             let mut seq = 0u64;
             for to in 0..p {
                 for _ in 0..m {
-                    traffic.push(MsgRecord { round, from, to, seq, bytes: 24 });
+                    traffic.push(MsgRecord { round, from, to, seq, bytes: 24, tuples: 1 });
                     seq += 1;
                 }
             }

@@ -19,8 +19,11 @@
 //!
 //! CLI flags: `--scale <f64>` shrinks/grows the inputs (CI uses 0.1),
 //! `--p <usize>` overrides the server count of the HyperCube case (the
-//! multi-round plan cases are fixed at `p = 8`), `--json <path>` (or
-//! `MPC_BENCH_JSON=<dir>`) writes the rows as JSON.
+//! multi-round plan cases are fixed at `p = 8`), `--batch-size <usize>`
+//! sets the columnar block capacity of the async data plane (CI runs a
+//! `--batch-size 1` smoke, degenerating to per-tuple packets, on top of
+//! the default), `--json <path>` (or `MPC_BENCH_JSON=<dir>`) writes the
+//! rows as JSON.
 //!
 //! Output shape: one markdown table; rows = (query, straggler spec),
 //! columns = volume stats (constant per query) and schedule stats
@@ -69,19 +72,27 @@ fn sweep() -> Vec<(&'static str, Option<StragglerSpec>, usize)> {
     ]
 }
 
+/// The accumulated experiment output: JSON rows, the printed table, and
+/// the fatal divergence flag.
+struct Report {
+    rows: Vec<Row>,
+    table: TextTable,
+    diverged: bool,
+}
+
 fn run_case<P: MpcProgram>(
     name: &str,
     program: &P,
     db: &mpc_storage::Database,
     cfg: &MpcConfig,
-    rows: &mut Vec<Row>,
-    table: &mut TextTable,
-    diverged: &mut bool,
+    batch_size: usize,
+    out: &mut Report,
 ) {
     let cluster = Cluster::new(cfg.clone()).expect("valid config");
     let mut baseline_volumes: Option<(u64, usize)> = None;
     for (label, straggler, capacity) in sweep() {
-        let mut async_cfg = AsyncConfig::new().with_queue_capacity(capacity);
+        let mut async_cfg =
+            AsyncConfig::new().with_queue_capacity(capacity).with_block_capacity(batch_size);
         if let Some(spec) = straggler {
             async_cfg = async_cfg.with_straggler(spec);
         }
@@ -90,7 +101,7 @@ fn run_case<P: MpcProgram>(
             run_differential(&cluster, program, db, &async_cfg).expect("both backends complete");
         if let Some(d) = report.divergence() {
             eprintln!("DIVERGENCE on {name} ({label}): {d}");
-            *diverged = true;
+            out.diverged = true;
         }
         let result = &report.event_driven.result;
         let sched = &report.event_driven.schedule;
@@ -100,7 +111,7 @@ fn run_case<P: MpcProgram>(
             Some((bytes, rounds)) => {
                 if (result.max_load_bytes(), result.num_rounds()) != (bytes, rounds) {
                     eprintln!("DIVERGENCE on {name} ({label}): volumes changed with stragglers");
-                    *diverged = true;
+                    out.diverged = true;
                 }
             }
         }
@@ -116,7 +127,7 @@ fn run_case<P: MpcProgram>(
             blocked_ticks: sched.total_blocked(),
             efficiency: sched.schedule_efficiency(),
         };
-        table.row([
+        out.table.row([
             row.query.clone(),
             row.rounds.to_string(),
             row.stragglers.clone(),
@@ -128,7 +139,7 @@ fn run_case<P: MpcProgram>(
             row.blocked_ticks.to_string(),
             format!("{:.2}", row.efficiency),
         ]);
-        rows.push(row);
+        out.rows.push(row);
     }
 }
 
@@ -136,20 +147,23 @@ fn main() {
     let n_hc = scaled(2000, 200);
     let n_plan = scaled(600, 100);
     let p = arg_usize("--p", 27);
-    let mut table = TextTable::new([
-        "query",
-        "rounds",
-        "stragglers",
-        "max load B",
-        "repl",
-        "makespan",
-        "crit path",
-        "barrier wait",
-        "blocked",
-        "efficiency",
-    ]);
-    let mut rows = Vec::new();
-    let mut diverged = false;
+    let batch_size = arg_usize("--batch-size", AsyncConfig::default().block_capacity);
+    let mut out = Report {
+        rows: Vec::new(),
+        table: TextTable::new([
+            "query",
+            "rounds",
+            "stragglers",
+            "max load B",
+            "repl",
+            "makespan",
+            "crit path",
+            "barrier wait",
+            "blocked",
+            "efficiency",
+        ]),
+        diverged: false,
+    };
 
     // One-round HyperCube on the triangle: the straggler stalls the only
     // barrier.
@@ -158,15 +172,7 @@ fn main() {
         let db = matching_database(&q, n_hc, 11);
         let eps = space_exponent(&q).expect("LP solvable").to_f64();
         let program = HyperCubeProgram::new(&q, p, 42).expect("allocation");
-        run_case(
-            "C3 (HC)",
-            &program,
-            &db,
-            &MpcConfig::new(p, eps),
-            &mut rows,
-            &mut table,
-            &mut diverged,
-        );
+        run_case("C3 (HC)", &program, &db, &MpcConfig::new(p, eps), batch_size, &mut out);
     }
 
     // Multi-round chains: the straggler stalls *every* round's barrier.
@@ -180,28 +186,28 @@ fn main() {
             &program,
             &db,
             &MpcConfig::new(8, 0.0),
-            &mut rows,
-            &mut table,
-            &mut diverged,
+            batch_size,
+            &mut out,
         );
     }
 
-    table.print("Straggler injection: volumes constant, schedules inflated (E9)");
+    out.table.print("Straggler injection: volumes constant, schedules inflated (E9)");
     println!(
         "\nVolume columns (max load, replication, rounds) are identical across \
          straggler specs and identical to the synchronous backend; schedule \
          columns come from the event-driven backend's virtual clock."
     );
-    maybe_write_json("exp_straggler_schedule", &rows);
+    maybe_write_json("exp_straggler_schedule", &out.rows);
 
-    if diverged {
+    if out.diverged {
         eprintln!("\nFAIL: async/sync divergence detected");
         std::process::exit(1);
     }
     // Sanity for CI: injected stragglers must actually inflate makespan.
-    let baseline: Vec<&Row> = rows.iter().filter(|r| r.stragglers == "none").collect();
+    let baseline: Vec<&Row> = out.rows.iter().filter(|r| r.stragglers == "none").collect();
     for b in baseline {
-        let worst = rows
+        let worst = out
+            .rows
             .iter()
             .filter(|r| r.query == b.query && r.stragglers != "none")
             .map(|r| r.makespan)

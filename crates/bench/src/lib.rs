@@ -87,20 +87,31 @@ pub fn json_output_path(experiment: &str) -> Option<PathBuf> {
 }
 
 /// Serialise the experiment rows to the requested JSON path (if any).
+///
+/// The write is atomic: rows go to a `.tmp` sibling first and are moved
+/// into place with a rename, so a reader (the bench gate, a concurrent
+/// experiment) never observes a truncated artefact, and a crash mid-write
+/// leaves any previous artefact intact.
 pub fn maybe_write_json<T: Serialize>(experiment: &str, rows: &T) {
     if let Some(path) = json_output_path(experiment) {
         if let Some(parent) = path.parent() {
             let _ = fs::create_dir_all(parent);
         }
-        match serde_json::to_string_pretty(rows) {
-            Ok(json) => {
-                if let Err(e) = fs::write(&path, json) {
-                    eprintln!("warning: could not write {}: {e}", path.display());
-                } else {
-                    println!("\n(wrote JSON rows to {})", path.display());
-                }
+        let json = match serde_json::to_string_pretty(rows) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("warning: could not serialise rows: {e}");
+                return;
             }
-            Err(e) => eprintln!("warning: could not serialise rows: {e}"),
+        };
+        let tmp = path.with_extension("json.tmp");
+        let result = fs::write(&tmp, json).and_then(|()| fs::rename(&tmp, &path));
+        match result {
+            Ok(()) => println!("\n(wrote JSON rows to {})", path.display()),
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
         }
     }
 }
@@ -233,5 +244,19 @@ mod tests {
     #[test]
     fn scaled_respects_minimum() {
         assert!(scaled(100, 10) >= 10);
+    }
+
+    #[test]
+    fn json_artefact_write_is_atomic() {
+        let dir = std::env::temp_dir().join(format!("mpc-bench-json-{}", std::process::id()));
+        std::env::set_var("MPC_BENCH_JSON", &dir);
+        maybe_write_json("BENCH_atomic_test", &vec![1u64, 2, 3]);
+        let path = dir.join("BENCH_atomic_test.json");
+        let content = fs::read_to_string(&path).expect("artefact must exist");
+        assert!(content.contains('2'));
+        // No temp-file droppings: the rename consumed the staging file.
+        assert!(!dir.join("BENCH_atomic_test.json.tmp").exists());
+        std::env::remove_var("MPC_BENCH_JSON");
+        let _ = fs::remove_dir_all(&dir);
     }
 }

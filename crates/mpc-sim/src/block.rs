@@ -1,0 +1,331 @@
+//! Columnar tuple blocks — the unit of transport of the batched data
+//! plane.
+//!
+//! The event-driven backend used to push one inbox packet *per tuple
+//! per destination*, so every delivered tuple paid a mutex/condvar round
+//! trip. A [`TupleBlock`] amortises that: up to `block_capacity` tuples
+//! sharing one `(destination, tag, round)` travel as a single packet whose
+//! payload is **arity-major column slices** — `cols[c][r]` is column `c`
+//! of row `r`. Column layout keeps the values of one attribute contiguous,
+//! which is what the vectorised hash build/probe of the local join wants,
+//! and makes the payload size a closed formula
+//! (`rows × arity × 8` bytes — the same accounting unit as
+//! [`crate::message::Routed::bytes_per_delivery`], so volume statistics
+//! are bit-identical to the per-tuple plane).
+//!
+//! Blocks are assembled sender-side by a [`BlockAssembler`], which keeps
+//! one open buffer per `(destination, tag)`, seals a block the moment it
+//! reaches capacity, and drains the partial remainder on
+//! [`BlockAssembler::flush`] — in deterministic `(destination, tag)`
+//! order, so the canonical per-sender sequence numbers are reproducible.
+//! Column storage is checked out of a [`crate::pool::BlockPool`] and
+//! handed back by the receiver after decoding, so steady-state routing
+//! allocates nothing.
+//!
+//! A block capacity of 1 degenerates to exactly the old per-tuple
+//! behaviour (one tuple per packet), which the differential matrix in
+//! `tests/async_equivalence.rs` exploits as a cross-check.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use mpc_storage::{Tuple, Value};
+
+use crate::pool::BlockPool;
+
+/// Reusable column storage: `arity` value vectors growing in lockstep.
+///
+/// This is the pooled part of a [`TupleBlock`] — everything that owns heap
+/// allocations — so returning it to the [`BlockPool`] recycles the block's
+/// entire footprint.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnBuf {
+    cols: Vec<Vec<Value>>,
+    /// Row count, tracked explicitly so zero-arity tuples still count.
+    rows: usize,
+}
+
+impl ColumnBuf {
+    /// An empty buffer with `arity` columns, each with room for
+    /// `capacity` values.
+    pub fn with_arity(arity: usize, capacity: usize) -> Self {
+        ColumnBuf { cols: (0..arity).map(|_| Vec::with_capacity(capacity)).collect(), rows: 0 }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// True when no rows are stored.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Append one row. `values` must have exactly [`ColumnBuf::arity`]
+    /// entries.
+    pub fn push(&mut self, values: &[Value]) {
+        debug_assert_eq!(values.len(), self.cols.len(), "row arity must match the buffer");
+        for (col, &v) in self.cols.iter_mut().zip(values) {
+            col.push(v);
+        }
+        self.rows += 1;
+    }
+
+    /// The contiguous values of column `c`.
+    pub fn column(&self, c: usize) -> &[Value] {
+        &self.cols[c]
+    }
+
+    /// Drop all rows, keeping the column capacities (pool recycling).
+    pub fn clear(&mut self) {
+        for col in &mut self.cols {
+            col.clear();
+        }
+        self.rows = 0;
+    }
+}
+
+/// A sealed columnar batch on the wire: up to the assembler's capacity of
+/// tuples sharing one tag, round and sender, bound for one destination.
+#[derive(Debug, Clone)]
+pub struct TupleBlock {
+    /// The relation tag all rows were sent under.
+    pub tag: Arc<str>,
+    /// Round the rows belong to (1-based).
+    pub round: usize,
+    /// Sending server (`>= p` for input servers).
+    pub from: usize,
+    /// Sequence number within `(from, round)`, in send order — blocks on
+    /// one link inherit the FIFO order of the lane they travel on.
+    pub seq: u64,
+    cols: ColumnBuf,
+}
+
+impl TupleBlock {
+    /// Number of tuples in the block.
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// True when the block carries no tuples (never on the wire; the
+    /// assembler only seals non-empty blocks).
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// Number of columns (the tag's relation arity).
+    pub fn arity(&self) -> usize {
+        self.cols.arity()
+    }
+
+    /// Payload size in bytes: `len × arity × 8`, the simulator's
+    /// accounting unit — identical to the sum over the rows of
+    /// [`crate::message::Routed::bytes_per_delivery`].
+    pub fn payload_bytes(&self) -> u64 {
+        (self.len() as u64) * (self.arity() as u64) * 8
+    }
+
+    /// The contiguous values of column `c`.
+    pub fn column(&self, c: usize) -> &[Value] {
+        self.cols.column(c)
+    }
+
+    /// Iterate the rows as owned [`Tuple`]s (the row-major decode at the
+    /// join boundary).
+    pub fn rows(&self) -> impl Iterator<Item = Tuple> + '_ {
+        (0..self.len()).map(move |r| Tuple((0..self.arity()).map(|c| self.column(c)[r]).collect()))
+    }
+
+    /// Tear the block down into its column storage, for return to the
+    /// pool.
+    pub fn into_columns(self) -> ColumnBuf {
+        self.cols
+    }
+}
+
+/// Sender-side batcher: one open [`ColumnBuf`] per `(destination, tag)`,
+/// sealed into [`TupleBlock`]s at capacity and on flush.
+///
+/// One assembler serves one `(sender, round)`: its sequence counter spans
+/// all destinations and tags, so the per-sender send order is globally
+/// sequenced exactly like the per-tuple plane's packets were.
+///
+/// ```
+/// use std::sync::Arc;
+/// use mpc_sim::block::BlockAssembler;
+/// use mpc_sim::pool::BlockPool;
+///
+/// let pool = Arc::new(BlockPool::new());
+/// let mut asm = BlockAssembler::new(Arc::clone(&pool), 2, 0, 1);
+/// assert!(asm.push(3, "R", &[1, 2]).is_none()); // buffering
+/// let sealed = asm.push(3, "R", &[3, 4]).expect("capacity reached");
+/// assert_eq!((sealed.len(), sealed.seq), (2, 0));
+/// pool.give_back(sealed.into_columns());
+/// assert!(asm.flush().is_empty());
+/// ```
+#[derive(Debug)]
+pub struct BlockAssembler {
+    pool: Arc<BlockPool>,
+    capacity: usize,
+    from: usize,
+    round: usize,
+    next_seq: u64,
+    open: BTreeMap<(usize, Arc<str>), ColumnBuf>,
+    /// Tag interning: one `Arc<str>` per distinct tag, shared by every
+    /// block sent under it.
+    tags: BTreeMap<String, Arc<str>>,
+}
+
+impl BlockAssembler {
+    /// An assembler for `(from, round)` sealing blocks of `capacity`
+    /// tuples (clamped to ≥ 1) drawn from `pool`.
+    pub fn new(pool: Arc<BlockPool>, capacity: usize, from: usize, round: usize) -> Self {
+        BlockAssembler {
+            pool,
+            capacity: capacity.max(1),
+            from,
+            round,
+            next_seq: 0,
+            open: BTreeMap::new(),
+            tags: BTreeMap::new(),
+        }
+    }
+
+    /// Buffer one tuple for `dest` under `tag`; returns the sealed block
+    /// when this push fills the `(dest, tag)` buffer to capacity.
+    pub fn push(&mut self, dest: usize, tag: &str, values: &[Value]) -> Option<TupleBlock> {
+        let tag = match self.tags.get(tag) {
+            Some(t) => Arc::clone(t),
+            None => {
+                let interned: Arc<str> = Arc::from(tag);
+                self.tags.insert(tag.to_string(), Arc::clone(&interned));
+                interned
+            }
+        };
+        let buf = self
+            .open
+            .entry((dest, Arc::clone(&tag)))
+            .or_insert_with(|| self.pool.checkout(values.len(), self.capacity));
+        buf.push(values);
+        if buf.len() >= self.capacity {
+            let cols = self.open.remove(&(dest, Arc::clone(&tag))).expect("buffer just filled");
+            Some(self.seal(tag, cols))
+        } else {
+            None
+        }
+    }
+
+    /// Seal and return every partially filled buffer, in deterministic
+    /// `(destination, tag)` order, paired with its destination.
+    pub fn flush(&mut self) -> Vec<(usize, TupleBlock)> {
+        let open = std::mem::take(&mut self.open);
+        open.into_iter()
+            .filter(|(_, buf)| !buf.is_empty())
+            .map(|((dest, tag), buf)| (dest, self.seal(tag, buf)))
+            .collect()
+    }
+
+    fn seal(&mut self, tag: Arc<str>, cols: ColumnBuf) -> TupleBlock {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        TupleBlock { tag, round: self.round, from: self.from, seq, cols }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> Arc<BlockPool> {
+        Arc::new(BlockPool::new())
+    }
+
+    #[test]
+    fn column_layout_round_trips_rows() {
+        let mut buf = ColumnBuf::with_arity(3, 4);
+        buf.push(&[1, 2, 3]);
+        buf.push(&[4, 5, 6]);
+        assert_eq!(buf.column(0), &[1, 4]);
+        assert_eq!(buf.column(1), &[2, 5]);
+        assert_eq!(buf.column(2), &[3, 6]);
+        let block = TupleBlock { tag: Arc::from("R"), round: 1, from: 0, seq: 0, cols: buf };
+        let rows: Vec<Tuple> = block.rows().collect();
+        assert_eq!(rows, vec![Tuple::from([1, 2, 3]), Tuple::from([4, 5, 6])]);
+        assert_eq!(block.payload_bytes(), 2 * 3 * 8);
+    }
+
+    #[test]
+    fn assembler_seals_at_capacity_and_flushes_the_rest() {
+        let pool = pool();
+        let mut asm = BlockAssembler::new(Arc::clone(&pool), 3, 7, 2);
+        let mut sealed = Vec::new();
+        for i in 0..7u64 {
+            if let Some(b) = asm.push(0, "R", &[i, i]) {
+                sealed.push(b);
+            }
+        }
+        assert_eq!(sealed.len(), 2, "two full blocks of 3");
+        let rest = asm.flush();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].1.len(), 1, "the 7th tuple");
+        // Sequence numbers are consecutive in seal order.
+        let seqs: Vec<u64> =
+            sealed.iter().chain(rest.iter().map(|(_, b)| b)).map(|b| b.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        for b in sealed.into_iter().chain(rest.into_iter().map(|(_, b)| b)) {
+            assert_eq!((b.from, b.round), (7, 2));
+            pool.give_back(b.into_columns());
+        }
+        assert!(pool.stats().balanced());
+    }
+
+    #[test]
+    fn capacity_one_degenerates_to_per_tuple_packets() {
+        let pool = pool();
+        let mut asm = BlockAssembler::new(Arc::clone(&pool), 1, 0, 1);
+        for i in 0..5u64 {
+            let b = asm.push(i as usize % 2, "R", &[i]).expect("every push seals");
+            assert_eq!(b.len(), 1);
+            pool.give_back(b.into_columns());
+        }
+        assert!(asm.flush().is_empty());
+        assert!(pool.stats().balanced());
+    }
+
+    #[test]
+    fn destinations_and_tags_get_separate_buffers() {
+        let pool = pool();
+        let mut asm = BlockAssembler::new(Arc::clone(&pool), 10, 0, 1);
+        assert!(asm.push(0, "R", &[1, 1]).is_none());
+        assert!(asm.push(1, "R", &[2, 2]).is_none());
+        assert!(asm.push(0, "S", &[3]).is_none());
+        let flushed = asm.flush();
+        // Deterministic (dest, tag) order: (0,R), (0,S), (1,R).
+        let labels: Vec<(usize, String, u64)> =
+            flushed.iter().map(|(d, b)| (*d, b.tag.to_string(), b.seq)).collect();
+        assert_eq!(labels, vec![(0, "R".into(), 0), (0, "S".into(), 1), (1, "R".into(), 2)]);
+        for (_, b) in flushed {
+            pool.give_back(b.into_columns());
+        }
+        assert!(pool.stats().balanced());
+    }
+
+    #[test]
+    fn assembler_recycles_pool_buffers() {
+        let pool = pool();
+        let mut asm = BlockAssembler::new(Arc::clone(&pool), 2, 0, 1);
+        for i in 0..10u64 {
+            if let Some(b) = asm.push(0, "R", &[i]) {
+                pool.give_back(b.into_columns());
+            }
+        }
+        let stats = pool.stats();
+        assert!(stats.reused >= 3, "sealed buffers come back into rotation: {stats:?}");
+    }
+}

@@ -19,7 +19,22 @@
 //! peer with a FIN marker. A worker enters local computation as soon as
 //! *it* has seen every peer's FIN, not when everyone has: the barrier is
 //! per-server. Packets that race ahead (a fast peer's round-`r+1` traffic)
-//! are stashed and delivered when this worker reaches that round.
+//! are absorbed into a pre-hashed stage and merged when this worker
+//! reaches that round.
+//!
+//! **The batched data plane.** Tuples do not travel one packet each: the
+//! router side packs them into columnar [`TupleBlock`]s of up to
+//! [`AsyncConfig::block_capacity`] tuples per `(destination, tag)`
+//! ([`crate::block`]), drawing column storage from a shared size-classed
+//! [`BlockPool`] ([`crate::pool`]) that receivers return decoded blocks
+//! to — so a steady-state round moves `O(tuples / block_capacity)` inbox
+//! packets and allocates nothing. Receivers drain their inbox in bursts
+//! ([`crate::queue::InboxReceiver::recv_many`]), and future-round blocks
+//! are hashed into per-tag relations *on arrival* (double-buffering: round
+//! `r+1` build work overlaps round `r`'s drain), with their volume
+//! credited to their own round at its boundary. Block capacity 1
+//! degenerates to the old per-tuple plane, which the differential matrix
+//! uses as a cross-check.
 //!
 //! **Equivalence.** Because a worker computes exactly when it holds the
 //! same packets the synchronous backend would have delivered to it, the
@@ -60,14 +75,17 @@
 //! # Ok::<(), mpc_sim::SimError>(())
 //! ```
 
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Duration;
 
-use mpc_storage::{Database, Relation, Tuple};
+use mpc_storage::{Database, Relation};
 
+use crate::block::{BlockAssembler, TupleBlock};
 use crate::cluster::{build_round_stats, overloaded_server, union_outputs, Cluster};
 use crate::error::SimError;
+use crate::pool::{BlockPool, PoolStats};
 use crate::program::MpcProgram;
 use crate::queue::{Inbox, InboxReceiver, LinkSender, SendAttempt};
 use crate::schedule::{self, CostModel, MsgRecord, ScheduleStats, StragglerSpec};
@@ -87,15 +105,22 @@ const BACKOFF: Duration = Duration::from_micros(200);
 ///
 /// let cfg = AsyncConfig::new()
 ///     .with_queue_capacity(16)
+///     .with_block_capacity(128)
 ///     .with_cost(CostModel::zero_latency())
 ///     .with_straggler(StragglerSpec::new(42, 1, 8));
-/// assert_eq!(cfg.queue_capacity, 16);
+/// assert_eq!((cfg.queue_capacity, cfg.block_capacity), (16, 128));
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct AsyncConfig {
     /// Capacity, in packets, of each per-link queue (clamped to ≥ 1).
     /// Doubles as the per-link send window of the schedule model.
     pub queue_capacity: usize,
+    /// Tuples per columnar block on the wire (clamped to ≥ 1). Capacity 1
+    /// degenerates to per-tuple packets.
+    pub block_capacity: usize,
+    /// Rounds of overlap the virtual-clock replay models (0 = strict
+    /// round-synchronous replay, 1 = the double-buffered plane).
+    pub pipeline_depth: usize,
     /// The virtual-clock cost model for [`ScheduleStats`].
     pub cost: CostModel,
     /// Deterministic straggler injection, if any.
@@ -104,13 +129,19 @@ pub struct AsyncConfig {
 
 impl Default for AsyncConfig {
     fn default() -> Self {
-        AsyncConfig { queue_capacity: 64, cost: CostModel::default(), straggler: None }
+        AsyncConfig {
+            queue_capacity: 64,
+            block_capacity: 256,
+            pipeline_depth: 1,
+            cost: CostModel::default(),
+            straggler: None,
+        }
     }
 }
 
 impl AsyncConfig {
-    /// The default configuration (64-packet lanes, default costs, no
-    /// stragglers).
+    /// The default configuration (64-packet lanes, 256-tuple blocks,
+    /// double-buffered replay, default costs, no stragglers).
     pub fn new() -> Self {
         AsyncConfig::default()
     }
@@ -119,6 +150,21 @@ impl AsyncConfig {
     #[must_use]
     pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
         self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Builder-style: set the tuples-per-block capacity of the columnar
+    /// data plane.
+    #[must_use]
+    pub fn with_block_capacity(mut self, capacity: usize) -> Self {
+        self.block_capacity = capacity.max(1);
+        self
+    }
+
+    /// Builder-style: set the pipeline depth of the schedule replay.
+    #[must_use]
+    pub fn with_pipeline_depth(mut self, depth: usize) -> Self {
+        self.pipeline_depth = depth;
         self
     }
 
@@ -146,6 +192,9 @@ pub struct AsyncRunResult {
     pub result: RunResult,
     /// The virtual-clock timeline of the run.
     pub schedule: ScheduleStats,
+    /// Buffer-pool accounting of the columnar data plane; balanced after
+    /// every clean run (each checked-out block was returned).
+    pub pool: PoolStats,
 }
 
 /// Which execution backend [`Cluster::run_backend`] should use.
@@ -224,6 +273,8 @@ impl Cluster {
             return Err(SimError::Program("program declares zero rounds".to_string()));
         }
         let capacity = async_config.queue_capacity.max(1);
+        let block_capacity = async_config.block_capacity.max(1);
+        let pool = Arc::new(BlockPool::new());
 
         // One inbox per worker with p + 1 lanes: lane s < p for peer s,
         // lane p for the input router.
@@ -246,10 +297,13 @@ impl Cluster {
                 program,
                 rx,
                 peers: (0..p).map(|dest| lane_senders[dest][id].clone()).collect(),
+                pool: Arc::clone(&pool),
+                block_capacity,
                 state: ServerState::new(id, db.domain_size()),
                 fins: vec![0; total_rounds],
-                stash: vec![Vec::new(); total_rounds],
+                stash: (0..total_rounds).map(|_| RoundStage::default()).collect(),
                 inbound: Vec::new(),
+                scratch: Vec::new(),
                 round: 0,
                 aborted: false,
             })
@@ -261,13 +315,15 @@ impl Cluster {
                 // Like the workers, the router must broadcast Abort on a
                 // panic inside the program's routing — otherwise every
                 // worker waits forever for the round-1 FIN.
-                catch_unwind(AssertUnwindSafe(|| run_input(program, db, p, &input_links)))
-                    .unwrap_or_else(|_| {
-                        for lane in &input_links {
-                            let _ = lane.force_send(Packet::Abort);
-                        }
-                        Err(Exit::Failed(SimError::Program("input router panicked".to_string())))
-                    })
+                catch_unwind(AssertUnwindSafe(|| {
+                    run_input(program, db, p, &input_links, &pool, block_capacity)
+                }))
+                .unwrap_or_else(|_| {
+                    for lane in &input_links {
+                        let _ = lane.force_send(Packet::Abort);
+                    }
+                    Err(Exit::Failed(SimError::Program("input router panicked".to_string())))
+                })
             });
             let handles: Vec<_> =
                 workers.drain(..).map(|worker| scope.spawn(move || worker.run())).collect();
@@ -340,12 +396,20 @@ impl Cluster {
             Some(spec) => spec.slowdown_vector(p),
             None => vec![1; p],
         };
-        let sched =
-            schedule::simulate(p, total_rounds, &traffic, &async_config.cost, &slowdown, capacity);
+        let sched = schedule::simulate_overlapped(
+            p,
+            total_rounds,
+            &traffic,
+            &async_config.cost,
+            &slowdown,
+            capacity,
+            async_config.pipeline_depth,
+        );
 
         Ok(AsyncRunResult {
             result: RunResult { output, rounds, per_server_output, input_bytes },
             schedule: sched,
+            pool: pool.stats(),
         })
     }
 }
@@ -423,14 +487,42 @@ pub fn run_differential<P: MpcProgram>(
 // ---------------------------------------------------------------------------
 
 /// A packet on the wire between server tasks.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 enum Packet {
-    /// A routed tuple for `round`, from worker (or input server) `from`.
-    Tuple { round: usize, from: usize, seq: u64, tag: Arc<str>, tuple: Tuple },
-    /// `from`'s round-`round` traffic towards this receiver is complete.
+    /// A columnar block of routed tuples (see [`crate::block`]).
+    Block(TupleBlock),
+    /// The sender's round-`round` traffic towards this receiver is
+    /// complete.
     Fin { round: usize },
     /// Unwind the whole run (a task failed).
     Abort,
+}
+
+/// The pre-hashed stage of a future round: blocks that raced ahead of
+/// this worker are decoded into per-tag relations *on arrival*, so when
+/// the worker reaches the round it merges whole relations instead of
+/// replaying tuples — the receive-side half of double-buffering.
+#[derive(Debug, Default)]
+struct RoundStage {
+    rels: BTreeMap<Arc<str>, Relation>,
+    bytes: u64,
+    tuples: u64,
+}
+
+impl RoundStage {
+    /// Hash one block's rows into the stage and account its volume.
+    fn absorb(&mut self, block: &TupleBlock) {
+        let arity = block.arity();
+        let rel = self
+            .rels
+            .entry(Arc::clone(&block.tag))
+            .or_insert_with(|| Relation::empty(block.tag.as_ref(), arity));
+        for row in block.rows() {
+            rel.insert(row).expect("blocks under one tag share an arity");
+        }
+        self.bytes += block.payload_bytes();
+        self.tuples += block.len() as u64;
+    }
 }
 
 /// Why a task exited without a report.
@@ -459,12 +551,18 @@ struct Worker<'a, P: MpcProgram> {
     rx: InboxReceiver<Packet>,
     /// `peers[dest]` feeds worker `dest`'s inbox (lane = this worker).
     peers: Vec<LinkSender<Packet>>,
+    /// Shared column storage for the blocks this worker sends and frees.
+    pool: Arc<BlockPool>,
+    /// Tuples per outgoing block.
+    block_capacity: usize,
     state: ServerState,
     /// FIN markers seen, per round (index `round - 1`).
     fins: Vec<usize>,
-    /// Tuples that arrived for a round this worker has not reached yet.
-    stash: Vec<Vec<(Arc<str>, Tuple)>>,
+    /// Pre-hashed stages for rounds this worker has not reached yet.
+    stash: Vec<RoundStage>,
     inbound: Vec<MsgRecord>,
+    /// Reusable burst buffer for [`InboxReceiver::recv_many`] drains.
+    scratch: Vec<Packet>,
     /// The round currently being received (0 before the first).
     round: usize,
     aborted: bool,
@@ -487,14 +585,19 @@ impl<P: MpcProgram> Worker<'_, P> {
             if round >= 2 {
                 // Route from the state *before* any round-`round` delivery
                 // — the tuple-based model's view, as in the synchronous
-                // backend.
+                // backend. Tuples are packed into per-(destination, tag)
+                // columnar blocks; a block ships as soon as it fills.
                 let routed = self
                     .program
                     .route_tuples(round, self.id, &self.state)
                     .map_err(|e| self.fail(e))?;
-                let mut seq = 0u64;
+                let mut asm = BlockAssembler::new(
+                    Arc::clone(&self.pool),
+                    self.block_capacity,
+                    self.id,
+                    round,
+                );
                 for msg in routed {
-                    let tag: Arc<str> = Arc::from(msg.tag.as_str());
                     for &dest in &msg.destinations {
                         if dest >= self.p {
                             let p = self.p;
@@ -502,32 +605,36 @@ impl<P: MpcProgram> Worker<'_, P> {
                                 "destination {dest} out of range for p = {p}"
                             ))));
                         }
-                        let pkt = Packet::Tuple {
-                            round,
-                            from: self.id,
-                            seq,
-                            tag: Arc::clone(&tag),
-                            tuple: msg.tuple.clone(),
-                        };
-                        self.send_packet(dest, pkt)?;
-                        seq += 1;
+                        if let Some(block) = asm.push(dest, &msg.tag, msg.tuple.values()) {
+                            self.send_packet(dest, Packet::Block(block))?;
+                        }
                     }
+                }
+                for (dest, block) in asm.flush() {
+                    self.send_packet(dest, Packet::Block(block))?;
                 }
                 for dest in 0..self.p {
                     self.send_packet(dest, Packet::Fin { round })?;
                 }
             }
 
-            // Tuples that raced ahead of us are due now.
-            for (tag, tuple) in std::mem::take(&mut self.stash[round - 1]) {
-                self.state.receive(round, &tag, tuple);
+            // Blocks that raced ahead of us were hashed on arrival; merge
+            // the stage's relations and charge its volume to this round.
+            let stage = std::mem::take(&mut self.stash[round - 1]);
+            for (_, rel) in stage.rels {
+                self.state.add_local(rel);
             }
+            self.state.credit_received(round, stage.bytes, stage.tuples);
 
-            // The per-server barrier: all of *our* round-`round` inbound.
+            // The per-server barrier: all of *our* round-`round` inbound,
+            // drained in bursts.
             let expected_fins = if round == 1 { 1 } else { self.p };
             while self.fins[round - 1] < expected_fins {
-                let pkt = self.rx.recv();
-                self.process(pkt)?;
+                let mut batch = std::mem::take(&mut self.scratch);
+                self.rx.recv_many(&mut batch);
+                let result = self.process_batch(&mut batch);
+                self.scratch = batch;
+                result?;
             }
 
             let derived =
@@ -550,30 +657,44 @@ impl<P: MpcProgram> Worker<'_, P> {
         })
     }
 
-    /// Handle one inbound packet. Tuples for the current round go into
-    /// the server state; tuples for a future round are stashed.
+    /// Handle one inbound packet. Blocks for the current round decode
+    /// into the server state; blocks for a future round are hashed into
+    /// that round's stage. Either way the column storage goes back to
+    /// the pool.
     fn process(&mut self, pkt: Packet) -> std::result::Result<(), Exit> {
         match pkt {
-            Packet::Tuple { round, from, seq, tag, tuple } => {
+            Packet::Block(block) => {
+                let round = block.round;
                 debug_assert!(round >= self.round, "a FIN-closed round cannot still deliver");
                 self.inbound.push(MsgRecord {
                     round,
-                    from,
+                    from: block.from,
                     to: self.id,
-                    seq,
-                    bytes: tuple.arity() as u64 * 8,
+                    seq: block.seq,
+                    bytes: block.payload_bytes(),
+                    tuples: block.len() as u64,
                 });
                 if round == self.round {
-                    self.state.receive(round, &tag, tuple);
+                    self.state.receive_many(round, &block.tag, block.arity(), block.rows());
                 } else {
-                    self.stash[round - 1].push((tag, tuple));
+                    self.stash[round - 1].absorb(&block);
                 }
+                self.pool.give_back(block.into_columns());
             }
             Packet::Fin { round } => self.fins[round - 1] += 1,
             Packet::Abort => {
                 self.aborted = true;
                 return Err(Exit::Cancelled);
             }
+        }
+        Ok(())
+    }
+
+    /// Process a burst of packets. On an early exit the rest of the
+    /// batch is dropped — the run is unwinding anyway.
+    fn process_batch(&mut self, batch: &mut Vec<Packet>) -> std::result::Result<(), Exit> {
+        for pkt in batch.drain(..) {
+            self.process(pkt)?;
         }
         Ok(())
     }
@@ -596,9 +717,11 @@ impl<P: MpcProgram> Worker<'_, P> {
                 }
                 SendAttempt::Full(back) => {
                     pkt = back;
-                    while let Some(inbound) = self.rx.try_recv() {
-                        self.process(inbound)?;
-                    }
+                    let mut batch = std::mem::take(&mut self.scratch);
+                    self.rx.try_recv_many(&mut batch);
+                    let result = self.process_batch(&mut batch);
+                    self.scratch = batch;
+                    result?;
                 }
             }
         }
@@ -624,6 +747,8 @@ fn run_input<P: MpcProgram>(
     db: &Database,
     p: usize,
     links: &[LinkSender<Packet>],
+    pool: &Arc<BlockPool>,
+    block_capacity: usize,
 ) -> std::result::Result<(), Exit> {
     let abort_all = |links: &[LinkSender<Packet>]| {
         for lane in links {
@@ -638,9 +763,10 @@ fn run_input<P: MpcProgram>(
                 return Err(Exit::Failed(e));
             }
         };
-        let mut seq = 0u64;
+        // One assembler per logical input server: its blocks carry
+        // `from = p + ri`, round 1.
+        let mut asm = BlockAssembler::new(Arc::clone(pool), block_capacity, p + ri, 1);
         for msg in routed {
-            let tag: Arc<str> = Arc::from(msg.tag.as_str());
             for &dest in &msg.destinations {
                 if dest >= p {
                     abort_all(links);
@@ -648,17 +774,16 @@ fn run_input<P: MpcProgram>(
                         "destination {dest} out of range for p = {p}"
                     ))));
                 }
-                let pkt = Packet::Tuple {
-                    round: 1,
-                    from: p + ri,
-                    seq,
-                    tag: Arc::clone(&tag),
-                    tuple: msg.tuple.clone(),
-                };
-                if links[dest].send(pkt).is_err() {
-                    return Err(Exit::Cancelled);
+                if let Some(block) = asm.push(dest, &msg.tag, msg.tuple.values()) {
+                    if links[dest].send(Packet::Block(block)).is_err() {
+                        return Err(Exit::Cancelled);
+                    }
                 }
-                seq += 1;
+            }
+        }
+        for (dest, block) in asm.flush() {
+            if links[dest].send(Packet::Block(block)).is_err() {
+                return Err(Exit::Cancelled);
             }
         }
     }

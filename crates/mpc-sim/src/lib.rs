@@ -41,17 +41,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod block;
 pub mod cluster;
 pub mod cluster_async;
 pub mod config;
 pub mod error;
 pub mod message;
+pub mod pool;
 pub mod program;
 pub mod queue;
 pub mod schedule;
 pub mod server;
 pub mod stats;
 
+pub use block::{BlockAssembler, ColumnBuf, TupleBlock};
 pub use cluster::Cluster;
 pub use cluster_async::{
     run_differential, AsyncConfig, AsyncRunResult, Backend, BackendRun, DifferentialReport,
@@ -59,6 +62,7 @@ pub use cluster_async::{
 pub use config::MpcConfig;
 pub use error::SimError;
 pub use message::Routed;
+pub use pool::{BlockPool, PoolStats};
 pub use program::MpcProgram;
 pub use schedule::{CostModel, MsgRecord, ScheduleStats, ServerTimeline, StragglerSpec};
 pub use server::ServerState;

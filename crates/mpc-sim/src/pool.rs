@@ -1,0 +1,203 @@
+//! A size-classed buffer pool for columnar tuple blocks.
+//!
+//! The batched data plane of [`crate::cluster_async`] moves
+//! [`crate::block::TupleBlock`]s between workers. Allocating a fresh set
+//! of column vectors for every block would put the allocator straight
+//! back on the hot path the batching removed, so blocks draw their column
+//! storage from a [`BlockPool`]: checked out when a sender opens a block,
+//! handed back when the receiver has decoded it, and recycled for the
+//! next send.
+//!
+//! **Size classes.** Buffers are classed by *arity* (column count): a
+//! returned 2-column buffer is only ever reused for another 2-column
+//! block, so the per-column `Vec` capacities stay warm and no column is
+//! ever re-grown from zero. Each class keeps a bounded free list
+//! ([`BlockPool::MAX_FREE_PER_CLASS`]); overflow buffers are dropped
+//! rather than hoarded.
+//!
+//! **Accounting.** The pool counts every checkout and every return
+//! ([`PoolStats`]); a clean run returns every block it checked out, which
+//! `tests/pool_invariants.rs` locks as a property. The counters are
+//! atomics and the free lists sit behind one mutex per pool — the pool is
+//! shared by all worker tasks of a run, and contention stays low because
+//! checkouts happen once per *block*, not once per tuple.
+//!
+//! ```
+//! use mpc_sim::pool::BlockPool;
+//!
+//! let pool = BlockPool::new();
+//! let buf = pool.checkout(2, 64);
+//! assert_eq!(buf.arity(), 2);
+//! pool.give_back(buf);
+//! let again = pool.checkout(2, 64); // recycled, not reallocated
+//! pool.give_back(again);
+//! assert_eq!(pool.stats().reused, 1);
+//! assert!(pool.stats().balanced());
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::block::ColumnBuf;
+
+/// Checkout/return accounting of a [`BlockPool`], captured by
+/// [`BlockPool::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Buffers handed out by [`BlockPool::checkout`].
+    pub checked_out: u64,
+    /// Buffers handed back by [`BlockPool::give_back`].
+    pub returned: u64,
+    /// Checkouts that had to allocate fresh storage (pool misses).
+    pub allocated: u64,
+    /// Checkouts served from a free list (pool hits).
+    pub reused: u64,
+}
+
+impl PoolStats {
+    /// Buffers currently checked out and not yet returned.
+    pub fn outstanding(&self) -> u64 {
+        self.checked_out - self.returned
+    }
+
+    /// Whether every checkout has been matched by a return — true after
+    /// any clean (non-aborted) run of the batched data plane.
+    pub fn balanced(&self) -> bool {
+        self.checked_out == self.returned
+    }
+}
+
+/// A thread-safe, size-classed free list of [`ColumnBuf`]s.
+#[derive(Debug, Default)]
+pub struct BlockPool {
+    /// `classes[arity]` holds the free buffers with exactly `arity`
+    /// columns (the vector grows lazily as arities appear).
+    classes: Mutex<Vec<Vec<ColumnBuf>>>,
+    checked_out: AtomicU64,
+    returned: AtomicU64,
+    allocated: AtomicU64,
+    reused: AtomicU64,
+}
+
+impl BlockPool {
+    /// Free buffers retained per size class; returns beyond this bound
+    /// drop the buffer instead of growing the pool without limit.
+    pub const MAX_FREE_PER_CLASS: usize = 1024;
+
+    /// An empty pool.
+    pub fn new() -> Self {
+        BlockPool::default()
+    }
+
+    /// Check out a buffer with `arity` columns, each with room for
+    /// `capacity` values: recycled from the `arity` class when possible,
+    /// freshly allocated otherwise.
+    pub fn checkout(&self, arity: usize, capacity: usize) -> ColumnBuf {
+        self.checked_out.fetch_add(1, Ordering::Relaxed);
+        let recycled = {
+            let mut classes = self.classes.lock().expect("pool mutex poisoned");
+            classes.get_mut(arity).and_then(Vec::pop)
+        };
+        match recycled {
+            Some(buf) => {
+                self.reused.fetch_add(1, Ordering::Relaxed);
+                debug_assert!(buf.is_empty() && buf.arity() == arity);
+                buf
+            }
+            None => {
+                self.allocated.fetch_add(1, Ordering::Relaxed);
+                ColumnBuf::with_arity(arity, capacity)
+            }
+        }
+    }
+
+    /// Return a buffer to its size class. The buffer is cleared (values
+    /// dropped, capacity kept) and becomes available to the next
+    /// [`BlockPool::checkout`] of the same arity.
+    pub fn give_back(&self, mut buf: ColumnBuf) {
+        self.returned.fetch_add(1, Ordering::Relaxed);
+        buf.clear();
+        let arity = buf.arity();
+        let mut classes = self.classes.lock().expect("pool mutex poisoned");
+        if classes.len() <= arity {
+            classes.resize_with(arity + 1, Vec::new);
+        }
+        if classes[arity].len() < Self::MAX_FREE_PER_CLASS {
+            classes[arity].push(buf);
+        }
+        // else: drop the buffer; the return is still counted, so the
+        // checkout/return balance is preserved.
+    }
+
+    /// Snapshot of the checkout/return counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            checked_out: self.checked_out.load(Ordering::Relaxed),
+            returned: self.returned.load(Ordering::Relaxed),
+            allocated: self.allocated.load(Ordering::Relaxed),
+            reused: self.reused.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Free buffers currently parked in the `arity` size class.
+    pub fn free_in_class(&self, arity: usize) -> usize {
+        let classes = self.classes.lock().expect("pool mutex poisoned");
+        classes.get(arity).map_or(0, Vec::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_allocates_then_reuses() {
+        let pool = BlockPool::new();
+        let a = pool.checkout(3, 8);
+        assert_eq!(pool.stats().allocated, 1);
+        pool.give_back(a);
+        let b = pool.checkout(3, 8);
+        assert_eq!(pool.stats().reused, 1);
+        assert_eq!(pool.stats().allocated, 1);
+        pool.give_back(b);
+        assert!(pool.stats().balanced());
+    }
+
+    #[test]
+    fn classes_are_segregated_by_arity() {
+        let pool = BlockPool::new();
+        let two = pool.checkout(2, 4);
+        pool.give_back(two);
+        // A 3-column checkout cannot be served by the 2-column buffer.
+        let three = pool.checkout(3, 4);
+        assert_eq!(three.arity(), 3);
+        assert_eq!(pool.stats().reused, 0);
+        assert_eq!(pool.free_in_class(2), 1);
+        pool.give_back(three);
+    }
+
+    #[test]
+    fn free_lists_are_bounded() {
+        let pool = BlockPool::new();
+        let bufs: Vec<_> =
+            (0..BlockPool::MAX_FREE_PER_CLASS + 10).map(|_| pool.checkout(1, 2)).collect();
+        for b in bufs {
+            pool.give_back(b);
+        }
+        assert_eq!(pool.free_in_class(1), BlockPool::MAX_FREE_PER_CLASS);
+        // Overflow returns were still counted.
+        assert!(pool.stats().balanced());
+    }
+
+    #[test]
+    fn returned_buffers_come_back_empty_with_capacity() {
+        let pool = BlockPool::new();
+        let mut buf = pool.checkout(2, 4);
+        buf.push(&[1, 2]);
+        buf.push(&[3, 4]);
+        pool.give_back(buf);
+        let buf = pool.checkout(2, 4);
+        assert!(buf.is_empty());
+        pool.give_back(buf);
+    }
+}

@@ -46,13 +46,7 @@ impl ServerState {
     /// Record the delivery of a tuple under `tag` during `round` (1-based),
     /// charging its size against that round.
     pub fn receive(&mut self, round: usize, tag: &str, tuple: Tuple) {
-        while self.bytes_received.len() < round {
-            self.bytes_received.push(0);
-            self.tuples_received.push(0);
-        }
-        let bytes = (tuple.arity() as u64) * 8;
-        self.bytes_received[round - 1] += bytes;
-        self.tuples_received[round - 1] += 1;
+        self.credit_received(round, (tuple.arity() as u64) * 8, 1);
         let arity = tuple.arity();
         self.relations
             .entry(tag.to_string())
@@ -61,15 +55,53 @@ impl ServerState {
             .expect("tuples under the same tag have the same arity");
     }
 
+    /// Record the delivery of a whole batch of `arity`-wide tuples under
+    /// one `tag` during `round` — the decode boundary of a columnar
+    /// block. One relation lookup and one accounting update for the whole
+    /// batch; duplicate tuples still cost bytes, exactly as under
+    /// [`ServerState::receive`].
+    pub fn receive_many<I>(&mut self, round: usize, tag: &str, arity: usize, tuples: I)
+    where
+        I: IntoIterator<Item = Tuple>,
+    {
+        let rel =
+            self.relations.entry(tag.to_string()).or_insert_with(|| Relation::empty(tag, arity));
+        let mut count = 0u64;
+        for t in tuples {
+            debug_assert_eq!(t.arity(), arity, "block rows share the tag's arity");
+            rel.insert(t).expect("tuples under the same tag have the same arity");
+            count += 1;
+        }
+        self.credit_received(round, count * (arity as u64) * 8, count);
+    }
+
+    /// Charge `bytes`/`tuples` of received volume against `round` without
+    /// touching any relation — used when staged (pre-hashed) future-round
+    /// data is merged at its round boundary, where the tuples themselves
+    /// arrive via [`ServerState::add_local`].
+    pub fn credit_received(&mut self, round: usize, bytes: u64, tuples: u64) {
+        while self.bytes_received.len() < round {
+            self.bytes_received.push(0);
+            self.tuples_received.push(0);
+        }
+        self.bytes_received[round - 1] += bytes;
+        self.tuples_received[round - 1] += tuples;
+    }
+
     /// Add a locally derived relation (no communication cost). Tuples are
-    /// merged into any existing relation with the same name.
+    /// merged into any existing relation with the same name; when the tag
+    /// is new the whole relation is moved in without re-hashing.
     pub fn add_local(&mut self, rel: Relation) {
-        let entry = self
-            .relations
-            .entry(rel.name().to_string())
-            .or_insert_with(|| Relation::empty(rel.name(), rel.arity()));
-        for t in rel.iter() {
-            entry.insert(t.clone()).expect("matching arity under the same tag");
+        use std::collections::btree_map::Entry;
+        match self.relations.entry(rel.name().to_string()) {
+            Entry::Vacant(v) => {
+                v.insert(rel);
+            }
+            Entry::Occupied(mut o) => {
+                for t in rel.iter() {
+                    o.get_mut().insert(t.clone()).expect("matching arity under the same tag");
+                }
+            }
         }
     }
 
@@ -127,6 +159,31 @@ mod tests {
         assert_eq!(s.tuples_received_in_round(1), 3);
         assert_eq!(s.total_bytes_received(), 3 * 16 + 8);
         assert_eq!(s.bytes_received_in_round(5), 0);
+    }
+
+    #[test]
+    fn receive_many_matches_tuplewise_receive() {
+        let mut a = ServerState::new(0, 100);
+        let mut b = ServerState::new(0, 100);
+        let batch = vec![Tuple::from([1, 2]), Tuple::from([3, 4]), Tuple::from([1, 2])];
+        for t in batch.clone() {
+            a.receive(2, "R", t);
+        }
+        b.receive_many(2, "R", 2, batch);
+        assert!(a.relation("R").unwrap().same_tuples(b.relation("R").unwrap()));
+        assert_eq!(a.bytes_received_in_round(2), b.bytes_received_in_round(2));
+        assert_eq!(a.tuples_received_in_round(2), b.tuples_received_in_round(2));
+        assert_eq!(b.bytes_received_in_round(2), 3 * 16, "duplicates still cost");
+    }
+
+    #[test]
+    fn credit_received_only_moves_counters() {
+        let mut s = ServerState::new(0, 10);
+        s.credit_received(3, 256, 4);
+        assert_eq!(s.bytes_received_in_round(3), 256);
+        assert_eq!(s.tuples_received_in_round(3), 4);
+        assert_eq!(s.bytes_received_in_round(1), 0);
+        assert_eq!(s.tags().count(), 0);
     }
 
     #[test]

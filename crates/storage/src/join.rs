@@ -6,19 +6,126 @@
 //! (b) sequentially on the whole database as the ground truth against which
 //! the parallel algorithms are verified.
 //!
-//! The algorithm is a straightforward connected-order hash join: atoms are
-//! processed in an order in which each atom (after the first) shares at
-//! least one variable with the already-joined prefix whenever the query is
-//! connected; each step builds a hash index on the shared variables and
-//! extends the current partial assignments.
+//! The algorithm is a connected-order hash join: atoms are processed in an
+//! order in which each atom (after the first) shares at least one variable
+//! with the already-joined prefix whenever the query is connected; each
+//! step builds a hash index on the shared variables and extends the
+//! current partial assignments.
+//!
+//! The per-step build is **columnar**: the atom's relation is snapshotted
+//! once into column vectors (self-inconsistent rows on repeated variables
+//! dropped up front) and the index maps shared-variable keys to `u32` row
+//! ids instead of tuple references — probes touch only the new-variable
+//! columns, and single-variable keys skip the per-probe `Vec` allocation
+//! entirely. When enough partial assignments are in flight the probe runs
+//! rayon-parallel in deterministic (input-order-preserving) chunks.
 
 use std::collections::HashMap;
 
 use mpc_cq::{Query, VarId};
+use rayon::prelude::*;
 
 use crate::database::Database;
 use crate::relation::{Relation, Tuple, Value};
 use crate::Result;
+
+/// Probe in parallel only when at least this many partial assignments are
+/// in flight — below it, thread spawn overhead beats the win.
+const PAR_PROBE_THRESHOLD: usize = 1024;
+
+/// The hash index of one join step over the columnar image of an atom's
+/// relation: rows self-consistent on repeated variables, stored
+/// column-major, with row ids grouped by their shared-variable key.
+struct AtomIndex {
+    cols: Vec<Vec<Value>>,
+    keys: KeyIndex,
+}
+
+enum KeyIndex {
+    /// No shared variables (first atom, or a new connected component):
+    /// every row matches every partial.
+    All(Vec<u32>),
+    /// Exactly one shared position — the common case; keyed directly by
+    /// value, no per-row or per-probe key allocation.
+    Single(HashMap<Value, Vec<u32>>),
+    /// Two or more shared positions.
+    Multi(HashMap<Vec<Value>, Vec<u32>>),
+}
+
+impl AtomIndex {
+    /// Snapshot `rel` column-major, dropping rows that disagree with
+    /// themselves on a repeated variable, and index the survivors on the
+    /// shared positions.
+    fn build(
+        rel: &Relation,
+        var_positions: &[(VarId, Vec<usize>)],
+        shared: &[(VarId, usize)],
+    ) -> AtomIndex {
+        let mut cols: Vec<Vec<Value>> = vec![Vec::with_capacity(rel.len()); rel.arity()];
+        let mut keys = match shared {
+            [] => KeyIndex::All(Vec::with_capacity(rel.len())),
+            [_] => KeyIndex::Single(HashMap::new()),
+            _ => KeyIndex::Multi(HashMap::new()),
+        };
+        let mut row = 0u32;
+        'tuples: for t in rel.iter() {
+            let values = t.values();
+            for (_, positions) in var_positions {
+                let first = values[positions[0]];
+                if positions[1..].iter().any(|&p| values[p] != first) {
+                    continue 'tuples;
+                }
+            }
+            for (col, &v) in cols.iter_mut().zip(values) {
+                col.push(v);
+            }
+            match &mut keys {
+                KeyIndex::All(ids) => ids.push(row),
+                KeyIndex::Single(map) => {
+                    map.entry(values[shared[0].1]).or_default().push(row);
+                }
+                KeyIndex::Multi(map) => {
+                    let key: Vec<Value> = shared.iter().map(|&(_, pos)| values[pos]).collect();
+                    map.entry(key).or_default().push(row);
+                }
+            }
+            row += 1;
+        }
+        AtomIndex { cols, keys }
+    }
+
+    /// Row ids matching one partial assignment's shared-variable values.
+    fn candidates(&self, partial: &[Value], shared: &[(VarId, usize)]) -> &[u32] {
+        match &self.keys {
+            KeyIndex::All(ids) => ids,
+            KeyIndex::Single(map) => map.get(&partial[shared[0].0 .0]).map_or(&[], Vec::as_slice),
+            KeyIndex::Multi(map) => {
+                let key: Vec<Value> = shared.iter().map(|&(v, _)| partial[v.0]).collect();
+                map.get(&key).map_or(&[], Vec::as_slice)
+            }
+        }
+    }
+
+    /// Extend `partial` once per matching row, reading only the
+    /// new-variable columns.
+    fn probe(
+        &self,
+        partial: &[Value],
+        shared: &[(VarId, usize)],
+        new_vars: &[(VarId, usize)],
+    ) -> Vec<Vec<Value>> {
+        self.candidates(partial, shared)
+            .iter()
+            .map(|&row| {
+                let mut extended = partial.to_vec();
+                for &(v, pos) in new_vars {
+                    extended[v.0] = self.cols[pos][row as usize];
+                }
+                extended
+            })
+            .collect()
+    }
+}
 
 /// Evaluate the query on the database.
 ///
@@ -57,36 +164,19 @@ pub fn evaluate(q: &Query, db: &Database) -> Result<Relation> {
         let new_vars: Vec<(VarId, usize)> =
             var_positions.iter().filter(|(v, _)| !bound[v.0]).map(|(v, ps)| (*v, ps[0])).collect();
 
-        // Index the relation on the shared positions, keeping only tuples
-        // that are self-consistent on repeated variables.
-        let mut index: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::new();
-        'tuples: for t in rel.iter() {
-            for (_, positions) in &var_positions {
-                let first = t.values()[positions[0]];
-                for &p in &positions[1..] {
-                    if t.values()[p] != first {
-                        continue 'tuples;
-                    }
-                }
-            }
-            let key: Vec<Value> = shared.iter().map(|(_, pos)| t.values()[*pos]).collect();
-            index.entry(key).or_default().push(t);
-        }
+        let index = AtomIndex::build(rel, &var_positions, &shared);
 
-        let mut next: Vec<Vec<Value>> = Vec::new();
-        for partial in &partials {
-            let key: Vec<Value> = shared.iter().map(|(v, _)| partial[v.0]).collect();
-            if let Some(matches) = index.get(&key) {
-                for t in matches {
-                    let mut extended = partial.clone();
-                    for (v, pos) in &new_vars {
-                        extended[v.0] = t.values()[*pos];
-                    }
-                    next.push(extended);
-                }
-            }
-        }
-        partials = next;
+        // Probe: order-preserving, so the output stays deterministic
+        // whether or not the parallel path runs.
+        partials = if partials.len() >= PAR_PROBE_THRESHOLD {
+            let chunks: Vec<Vec<Vec<Value>>> = partials
+                .par_iter()
+                .map(|partial| index.probe(partial, &shared, &new_vars))
+                .collect();
+            chunks.into_iter().flatten().collect()
+        } else {
+            partials.iter().flat_map(|partial| index.probe(partial, &shared, &new_vars)).collect()
+        };
         for (v, _) in &new_vars {
             bound[v.0] = true;
         }
@@ -264,6 +354,24 @@ mod tests {
         assert_eq!(out.len(), 1);
         // Columns are (w, x, y, z) in first-occurrence order.
         assert!(out.contains(&Tuple::from([1, 2, 3, 4])));
+    }
+
+    #[test]
+    fn parallel_probe_path_matches_small_case_semantics() {
+        // R(x) × S(y) builds 1600 partials — past PAR_PROBE_THRESHOLD —
+        // before T(z) is probed, so the rayon path runs; the result must
+        // be the full 40 · 40 · 3 cartesian product, deterministically.
+        let q = mpc_cq::Query::new("q", vec![("R", vec!["x"]), ("S", vec!["y"]), ("T", vec!["z"])])
+            .unwrap();
+        let mut db = Database::new(10_000);
+        db.insert_relation(Relation::from_tuples("R", 1, (0..40u64).map(|v| [v])).unwrap());
+        db.insert_relation(Relation::from_tuples("S", 1, (100..140u64).map(|v| [v])).unwrap());
+        db.insert_relation(Relation::from_tuples("T", 1, (200..203u64).map(|v| [v])).unwrap());
+        const { assert!(40 * 40 >= PAR_PROBE_THRESHOLD) };
+        let out = evaluate(&q, &db).unwrap();
+        assert_eq!(out.len(), 40 * 40 * 3);
+        assert!(out.contains(&Tuple::from([0, 100, 200])));
+        assert!(out.contains(&Tuple::from([39, 139, 202])));
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod relation;
 
 pub use database::Database;
 pub use error::StorageError;
-pub use relation::{Relation, Tuple};
+pub use relation::{Relation, Tuple, Value};
 
 /// Convenience result alias used across this crate.
 pub type Result<T> = std::result::Result<T, StorageError>;

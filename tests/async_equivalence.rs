@@ -31,6 +31,9 @@ fn assert_equivalent<P: MpcProgram>(
     for s in &sched.servers {
         assert!(s.span_partition_holds(), "{label}: server {} timeline leaks", s.server);
     }
+    // The columnar data plane leaks no blocks on a clean run.
+    let pool = &report.event_driven.pool;
+    assert!(pool.balanced(), "{label}: block pool unbalanced: {pool:?}");
 }
 
 #[test]
@@ -92,6 +95,74 @@ fn skew_resilient_program_is_backend_independent() {
             SkewResilientProgram::new(&q, &db, 32, &HeavyHitterPolicy::default(), 42).unwrap();
         assert_equivalent(&format!("skew {label}"), &program, &db, &cfg, &AsyncConfig::new());
     }
+}
+
+/// The differential matrix of the columnar data plane: every program kind
+/// × block capacities spanning per-tuple (1), awkward (7), steady-state
+/// (64) and whole-round (4096) blocks × tight and roomy queues. Identical
+/// outputs and per-round volumes everywhere — block capacity 1 must
+/// degenerate to the old per-tuple plane exactly.
+#[test]
+fn differential_matrix_over_block_and_queue_capacities() {
+    let hc_q = families::triangle();
+    let hc_db = matching_database(&hc_q, 400, 11);
+    let hc = HyperCubeProgram::new(&hc_q, 8, 42).unwrap();
+    let hc_cfg = MpcConfig::new(8, 1.0 / 3.0);
+
+    let mr_q = families::chain(4);
+    let plan = MultiRoundPlan::build(&mr_q, Rational::ZERO).unwrap();
+    let mr = PlanProgram::new(&plan, 8, 5).unwrap();
+    let mr_db = matching_database(&mr_q, 400, 3);
+    let mr_cfg = MpcConfig::new(8, 0.0);
+
+    let sk_q = families::chain(2);
+    let sk_db = zipf_database(&sk_q, 800, 800, 1.2, 5);
+    let sk =
+        SkewResilientProgram::new(&sk_q, &sk_db, 8, &HeavyHitterPolicy::default(), 42).unwrap();
+    let sk_cfg = MpcConfig::new(8, 0.0);
+
+    for block in [1usize, 7, 64, 4096] {
+        for queue in [2usize, 64] {
+            let async_cfg =
+                AsyncConfig::new().with_block_capacity(block).with_queue_capacity(queue);
+            assert_equivalent(
+                &format!("matrix HC block={block} queue={queue}"),
+                &hc,
+                &hc_db,
+                &hc_cfg,
+                &async_cfg,
+            );
+            assert_equivalent(
+                &format!("matrix plan block={block} queue={queue}"),
+                &mr,
+                &mr_db,
+                &mr_cfg,
+                &async_cfg,
+            );
+            assert_equivalent(
+                &format!("matrix skew block={block} queue={queue}"),
+                &sk,
+                &sk_db,
+                &sk_cfg,
+                &async_cfg,
+            );
+        }
+    }
+}
+
+/// With block capacity 1 every block carries exactly one tuple, so the
+/// pool's checkout count equals the total delivered tuple count — the
+/// observable signature of the per-tuple degeneration.
+#[test]
+fn block_capacity_one_checks_out_one_block_per_tuple() {
+    let q = families::triangle();
+    let db = matching_database(&q, 500, 9);
+    let program = HyperCubeProgram::new(&q, 8, 7).unwrap();
+    let cluster = Cluster::new(MpcConfig::new(8, 1.0 / 3.0)).unwrap();
+    let run = cluster.run_async(&program, &db, &AsyncConfig::new().with_block_capacity(1)).unwrap();
+    let delivered: u64 = run.result.rounds.iter().map(|r| r.total_tuples_received).sum();
+    assert_eq!(run.pool.checked_out, delivered, "one block per delivered tuple");
+    assert!(run.pool.balanced());
 }
 
 #[test]

@@ -16,12 +16,21 @@
 //! present in only one file are reported but do not fail the gate (bench
 //! suites legitimately grow).
 //!
+//! **Ratchets.** `--max-ratio <numerator> <denominator> <limit>`
+//! (repeatable) additionally asserts `mean_ns(numerator) ≤ limit ×
+//! mean_ns(denominator)` *within the fresh artefact* — both cases ran on
+//! the same machine in the same process, so the bound needs no hardware
+//! normalisation and cannot drift with runner speed. CI uses it to lock
+//! the async backend at ≤ 1.2× the synchronous backend on the headline
+//! HyperCube case.
+//!
 //! ```text
 //! bench_gate <baseline.json> <fresh.json> [--threshold 2.0]
+//!            [--max-ratio <case_a> <case_b> <limit>]...
 //! ```
 //!
-//! Exit status: 0 when every matched case passes, 1 on regression or on
-//! unreadable/empty input.
+//! Exit status: 0 when every matched case passes, 1 on regression, a
+//! violated ratchet, or unreadable/empty input.
 
 use std::fmt::Write as _;
 use std::fs;
@@ -160,7 +169,52 @@ fn compare(base: &[BenchRow], fresh: &[BenchRow]) -> Result<GateReport, String> 
     Ok(GateReport { hardware_factor, cases, only_in_base, only_in_fresh })
 }
 
-fn run(baseline_path: &str, fresh_path: &str, threshold: f64) -> Result<String, String> {
+/// A `--max-ratio` ratchet: `mean_ns(numerator) ≤ limit × mean_ns(denominator)`
+/// checked within one artefact.
+#[derive(Debug, Clone)]
+struct MaxRatio {
+    numerator: String,
+    denominator: String,
+    limit: f64,
+}
+
+/// Check the ratchets against the fresh rows. Returns the per-ratchet
+/// report lines and the names of violated ratchets.
+fn check_ratchets(
+    fresh: &[BenchRow],
+    ratchets: &[MaxRatio],
+) -> Result<(String, Vec<String>), String> {
+    let mut out = String::new();
+    let mut violated = Vec::new();
+    for r in ratchets {
+        let num = fresh
+            .iter()
+            .find(|f| f.name == r.numerator)
+            .ok_or(format!("--max-ratio case {} not in the fresh artefact", r.numerator))?;
+        let den = fresh
+            .iter()
+            .find(|f| f.name == r.denominator)
+            .ok_or(format!("--max-ratio case {} not in the fresh artefact", r.denominator))?;
+        let ratio = num.mean_ns.max(1) as f64 / den.mean_ns.max(1) as f64;
+        let verdict = if ratio > r.limit { "VIOLATED" } else { "ok" };
+        let _ = writeln!(
+            out,
+            "  ratchet {} / {}: {ratio:.3}× (limit {:.3}×) — {verdict}",
+            r.numerator, r.denominator, r.limit
+        );
+        if ratio > r.limit {
+            violated.push(format!("{} / {}", r.numerator, r.denominator));
+        }
+    }
+    Ok((out, violated))
+}
+
+fn run(
+    baseline_path: &str,
+    fresh_path: &str,
+    threshold: f64,
+    ratchets: &[MaxRatio],
+) -> Result<String, String> {
     let base_text = fs::read_to_string(baseline_path)
         .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
     let fresh_text = fs::read_to_string(fresh_path)
@@ -168,6 +222,7 @@ fn run(baseline_path: &str, fresh_path: &str, threshold: f64) -> Result<String, 
     let base = parse_rows(&base_text).map_err(|e| format!("{baseline_path}: {e}"))?;
     let fresh = parse_rows(&fresh_text).map_err(|e| format!("{fresh_path}: {e}"))?;
     let report = compare(&base, &fresh)?;
+    let (ratchet_lines, violated) = check_ratchets(&fresh, ratchets)?;
 
     let mut out = String::new();
     let _ = writeln!(
@@ -202,16 +257,27 @@ fn run(baseline_path: &str, fresh_path: &str, threshold: f64) -> Result<String, 
     for name in &report.only_in_fresh {
         let _ = writeln!(out, "  (new case, no baseline yet: {name})");
     }
-    if regressions.is_empty() {
+    out.push_str(&ratchet_lines);
+    if regressions.is_empty() && violated.is_empty() {
         let _ = writeln!(out, "PASS: no case more than {threshold}× slower than the median");
         Ok(out)
     } else {
-        let _ = writeln!(
-            out,
-            "FAIL: {} case(s) regressed more than {threshold}× vs the suite median: {}",
-            regressions.len(),
-            regressions.join(", ")
-        );
+        if !regressions.is_empty() {
+            let _ = writeln!(
+                out,
+                "FAIL: {} case(s) regressed more than {threshold}× vs the suite median: {}",
+                regressions.len(),
+                regressions.join(", ")
+            );
+        }
+        if !violated.is_empty() {
+            let _ = writeln!(
+                out,
+                "FAIL: {} ratchet(s) violated in the fresh artefact: {}",
+                violated.len(),
+                violated.join("; ")
+            );
+        }
         Err(out)
     }
 }
@@ -220,6 +286,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let mut positional = Vec::new();
     let mut threshold = 2.0f64;
+    let mut ratchets = Vec::new();
     let mut i = 1;
     while i < args.len() {
         if args[i] == "--threshold" {
@@ -231,16 +298,34 @@ fn main() -> ExitCode {
                 }
             }
             i += 2;
+        } else if args[i] == "--max-ratio" {
+            let (Some(num), Some(den), Some(limit)) = (
+                args.get(i + 1),
+                args.get(i + 2),
+                args.get(i + 3).and_then(|v| v.parse::<f64>().ok()),
+            ) else {
+                eprintln!("--max-ratio needs <numerator_case> <denominator_case> <limit>");
+                return ExitCode::FAILURE;
+            };
+            if limit <= 0.0 {
+                eprintln!("--max-ratio limit must be positive");
+                return ExitCode::FAILURE;
+            }
+            ratchets.push(MaxRatio { numerator: num.clone(), denominator: den.clone(), limit });
+            i += 4;
         } else {
             positional.push(args[i].clone());
             i += 1;
         }
     }
     let [baseline, fresh] = positional.as_slice() else {
-        eprintln!("usage: bench_gate <baseline.json> <fresh.json> [--threshold 2.0]");
+        eprintln!(
+            "usage: bench_gate <baseline.json> <fresh.json> [--threshold 2.0] \
+             [--max-ratio <case_a> <case_b> <limit>]..."
+        );
         return ExitCode::FAILURE;
     };
-    match run(baseline, fresh, threshold) {
+    match run(baseline, fresh, threshold, &ratchets) {
         Ok(report) => {
             print!("{report}");
             ExitCode::SUCCESS
@@ -347,13 +432,65 @@ mod tests {
         let fresh_path = dir.join("fresh.json");
         fs::write(&base_path, SAMPLE).unwrap();
         fs::write(&fresh_path, SAMPLE).unwrap();
-        let ok = run(base_path.to_str().unwrap(), fresh_path.to_str().unwrap(), 2.0);
+        let ok = run(base_path.to_str().unwrap(), fresh_path.to_str().unwrap(), 2.0, &[]);
         assert!(ok.is_ok());
         assert!(ok.unwrap().contains("PASS"));
         // One case blown up 100×.
         fs::write(&fresh_path, SAMPLE.replace("\"mean_ns\": 200", "\"mean_ns\": 20000")).unwrap();
-        let bad = run(base_path.to_str().unwrap(), fresh_path.to_str().unwrap(), 2.0);
+        let bad = run(base_path.to_str().unwrap(), fresh_path.to_str().unwrap(), 2.0, &[]);
         assert!(bad.is_err());
         assert!(bad.unwrap_err().contains("FAIL"));
+    }
+
+    fn ratchet(num: &str, den: &str, limit: f64) -> MaxRatio {
+        MaxRatio { numerator: num.to_string(), denominator: den.to_string(), limit }
+    }
+
+    #[test]
+    fn ratchet_passes_within_limit_and_fails_beyond_it() {
+        // dense is 4× sparse in SAMPLE.
+        let fresh = parse_rows(SAMPLE).unwrap();
+        let (lines, violated) =
+            check_ratchets(&fresh, &[ratchet("dense/C3", "sparse/C3", 4.5)]).unwrap();
+        assert!(violated.is_empty(), "{lines}");
+        assert!(lines.contains("4.000× (limit 4.500×) — ok"));
+
+        let (lines, violated) =
+            check_ratchets(&fresh, &[ratchet("dense/C3", "sparse/C3", 3.0)]).unwrap();
+        assert_eq!(violated, vec!["dense/C3 / sparse/C3".to_string()]);
+        assert!(lines.contains("VIOLATED"));
+    }
+
+    #[test]
+    fn ratchet_on_a_missing_case_is_an_error() {
+        let fresh = parse_rows(SAMPLE).unwrap();
+        assert!(check_ratchets(&fresh, &[ratchet("nope", "sparse/C3", 2.0)]).is_err());
+        assert!(check_ratchets(&fresh, &[ratchet("sparse/C3", "nope", 2.0)]).is_err());
+    }
+
+    #[test]
+    fn a_violated_ratchet_fails_the_gate_even_without_regressions() {
+        let dir = std::env::temp_dir().join("bench_gate_ratchet_test");
+        fs::create_dir_all(&dir).unwrap();
+        let base_path = dir.join("base.json");
+        let fresh_path = dir.join("fresh.json");
+        fs::write(&base_path, SAMPLE).unwrap();
+        fs::write(&fresh_path, SAMPLE).unwrap();
+        // Identical artefacts: the median gate passes, the ratchet decides.
+        let ok = run(
+            base_path.to_str().unwrap(),
+            fresh_path.to_str().unwrap(),
+            2.0,
+            &[ratchet("dense/C3", "sparse/C3", 4.0)],
+        );
+        assert!(ok.is_ok());
+        let bad = run(
+            base_path.to_str().unwrap(),
+            fresh_path.to_str().unwrap(),
+            2.0,
+            &[ratchet("dense/C3", "sparse/C3", 1.2)],
+        );
+        assert!(bad.is_err());
+        assert!(bad.unwrap_err().contains("ratchet(s) violated"));
     }
 }
