@@ -69,6 +69,12 @@ pub struct QueryAnalysis {
     /// Which LP-solver layer produced the triple: `"cache-hit"`,
     /// `"closed-form"` or `"simplex"` (see `mpc_lp::SolverPath`).
     pub lp_solver_path: String,
+    /// Process-wide [`mpc_lp::LpCache`] hits, snapshotted right after this
+    /// analysis' solve — together with `lp_cache_misses`, lets a service
+    /// layer report cache-hot vs cold planning per query.
+    pub lp_cache_hits: u64,
+    /// Process-wide [`mpc_lp::LpCache`] misses at the same snapshot.
+    pub lp_cache_misses: u64,
     #[serde(skip)]
     query: Query,
 }
@@ -87,6 +93,7 @@ impl QueryAnalysis {
     /// Propagates LP errors.
     pub fn analyze(q: &Query) -> Result<Self> {
         let (lps, path) = QueryLps::solve_traced(q)?;
+        let cache_stats = mpc_lp::LpCache::global().stats();
         let tau = lps.covering_number();
         let space_exponent = Rational::ONE - tau.recip()?;
         let share_exponents = lps
@@ -114,6 +121,8 @@ impl QueryAnalysis {
             share_exponents,
             expected_answer_exponent: mpc_storage::estimate::expected_answer_exponent(q),
             lp_solver_path: path.to_string(),
+            lp_cache_hits: cache_stats.hits,
+            lp_cache_misses: cache_stats.misses,
             query: q.clone(),
         })
     }
@@ -284,6 +293,19 @@ mod tests {
         );
         let w2 = QueryAnalysis::analyze(&families::witness_query()).unwrap();
         assert_eq!(w2.lp_solver_path, "cache-hit");
+    }
+
+    #[test]
+    fn lp_cache_counters_are_snapshotted() {
+        // The first witness solve records a miss; the re-analysis records
+        // one more hit than whatever the snapshot held before it. (The
+        // cache is process-global, so only deltas between consecutive
+        // snapshots are meaningful in a shared test process.)
+        let w1 = QueryAnalysis::analyze(&families::witness_query()).unwrap();
+        let w2 = QueryAnalysis::analyze(&families::witness_query()).unwrap();
+        assert!(w2.lp_cache_hits > w1.lp_cache_hits, "second solve is a cache hit");
+        assert!(w1.lp_cache_misses >= 1, "the cold witness solve missed");
+        assert!(w2.lp_cache_misses >= w1.lp_cache_misses, "counters are monotone");
     }
 
     #[test]

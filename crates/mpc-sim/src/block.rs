@@ -89,6 +89,29 @@ impl ColumnBuf {
         }
         self.rows = 0;
     }
+
+    /// Refill the buffer column by column: `fill` is called once per
+    /// column, in order, and must append exactly `rows` values to the
+    /// vector it is handed. This is the deserialisation boundary of the
+    /// wire codec in `mpc-net` — a pooled buffer is refilled straight from
+    /// the socket without an intermediate row-major copy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error `fill` returns; the buffer is left
+    /// cleared in that case.
+    pub fn refill<E, F>(&mut self, rows: usize, mut fill: F) -> Result<(), E>
+    where
+        F: FnMut(&mut Vec<Value>) -> Result<(), E>,
+    {
+        self.clear();
+        for col in &mut self.cols {
+            fill(col)?;
+            debug_assert_eq!(col.len(), rows, "fill must append exactly `rows` values");
+        }
+        self.rows = rows;
+        Ok(())
+    }
 }
 
 /// A sealed columnar batch on the wire: up to the assembler's capacity of
@@ -147,6 +170,41 @@ impl TupleBlock {
     pub fn into_columns(self) -> ColumnBuf {
         self.cols
     }
+
+    /// Rebuild a block from its parts — the deserialisation boundary of
+    /// the wire codec in `mpc-net`, where `cols` was refilled from a
+    /// pooled buffer via [`ColumnBuf::refill`]. Everything else in the
+    /// simulator receives blocks only from a [`BlockAssembler`].
+    pub fn from_parts(tag: Arc<str>, round: usize, from: usize, seq: u64, cols: ColumnBuf) -> Self {
+        TupleBlock { tag, round, from, seq, cols }
+    }
+}
+
+/// How a [`BlockAssembler`] adapts its seal threshold to observed link
+/// occupancy (the PR 6 ROADMAP follow-up).
+///
+/// Big blocks amortise per-packet overhead but add batching latency; on a
+/// link whose lane sits near-empty the latency buys nothing. Under this
+/// policy the assembler keeps a per-destination *effective capacity*:
+/// every occupancy sample below `low_watermark` halves it (toward
+/// `min_capacity`), every sample at or above `high_watermark` doubles it
+/// (back toward the configured capacity). Adaptation changes only *when*
+/// buffers seal — never what they carry — so outputs and per-round volume
+/// statistics are invariant (pinned by `tests/async_equivalence.rs`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptivePolicy {
+    /// Floor for the effective capacity (clamped to ≥ 1).
+    pub min_capacity: usize,
+    /// Occupancy strictly below this shrinks the block size.
+    pub low_watermark: f64,
+    /// Occupancy at or above this grows it back.
+    pub high_watermark: f64,
+}
+
+impl Default for AdaptivePolicy {
+    fn default() -> Self {
+        AdaptivePolicy { min_capacity: 8, low_watermark: 0.25, high_watermark: 0.75 }
+    }
 }
 
 /// Sender-side batcher: one open [`ColumnBuf`] per `(destination, tag)`,
@@ -180,6 +238,12 @@ pub struct BlockAssembler {
     /// Tag interning: one `Arc<str>` per distinct tag, shared by every
     /// block sent under it.
     tags: BTreeMap<String, Arc<str>>,
+    /// When set, per-destination effective capacities track observed link
+    /// occupancy instead of pinning `capacity`.
+    policy: Option<AdaptivePolicy>,
+    /// Current effective seal threshold per destination (only populated
+    /// when a policy is set and a sample arrived for that destination).
+    effective: BTreeMap<usize, usize>,
 }
 
 impl BlockAssembler {
@@ -194,7 +258,41 @@ impl BlockAssembler {
             next_seq: 0,
             open: BTreeMap::new(),
             tags: BTreeMap::new(),
+            policy: None,
+            effective: BTreeMap::new(),
         }
+    }
+
+    /// Enable per-destination adaptive seal thresholds under `policy`.
+    #[must_use]
+    pub fn with_adaptive(mut self, policy: AdaptivePolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Feed one occupancy sample (see [`crate::queue::LinkSender::occupancy`])
+    /// for the link to `dest`. Below the low watermark the effective
+    /// capacity halves toward the policy floor; at or above the high
+    /// watermark it doubles back toward the configured capacity. No-op
+    /// without a policy.
+    pub fn observe_occupancy(&mut self, dest: usize, occupancy: f64) {
+        let Some(policy) = self.policy else { return };
+        let floor = policy.min_capacity.clamp(1, self.capacity);
+        let current = *self.effective.entry(dest).or_insert(self.capacity);
+        let next = if occupancy < policy.low_watermark {
+            (current / 2).max(floor)
+        } else if occupancy >= policy.high_watermark {
+            (current * 2).min(self.capacity)
+        } else {
+            current
+        };
+        self.effective.insert(dest, next);
+    }
+
+    /// The seal threshold currently in force for `dest`: the configured
+    /// capacity, unless adaptation has shrunk it.
+    pub fn effective_capacity(&self, dest: usize) -> usize {
+        self.effective.get(&dest).copied().unwrap_or(self.capacity)
     }
 
     /// Buffer one tuple for `dest` under `tag`; returns the sealed block
@@ -213,7 +311,7 @@ impl BlockAssembler {
             .entry((dest, Arc::clone(&tag)))
             .or_insert_with(|| self.pool.checkout(values.len(), self.capacity));
         buf.push(values);
-        if buf.len() >= self.capacity {
+        if buf.len() >= self.effective.get(&dest).copied().unwrap_or(self.capacity) {
             let cols = self.open.remove(&(dest, Arc::clone(&tag))).expect("buffer just filled");
             Some(self.seal(tag, cols))
         } else {
@@ -313,6 +411,90 @@ mod tests {
         for (_, b) in flushed {
             pool.give_back(b.into_columns());
         }
+        assert!(pool.stats().balanced());
+    }
+
+    #[test]
+    fn refill_and_from_parts_round_trip() {
+        let mut buf = ColumnBuf::with_arity(2, 4);
+        buf.push(&[9, 9]);
+        buf.refill::<(), _>(3, |col| {
+            col.extend_from_slice(&[1, 2, 3]);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.column(0), &[1, 2, 3]);
+        let block = TupleBlock::from_parts(Arc::from("R"), 4, 7, 11, buf);
+        assert_eq!((block.round, block.from, block.seq, block.len()), (4, 7, 11, 3));
+        let mut err = ColumnBuf::with_arity(1, 1);
+        assert_eq!(err.refill(1, |_| Err("short read")), Err("short read"));
+        assert!(err.is_empty(), "failed refill leaves the buffer cleared");
+    }
+
+    #[test]
+    fn adaptive_policy_shrinks_and_recovers_per_destination() {
+        let pool = pool();
+        let mut asm =
+            BlockAssembler::new(Arc::clone(&pool), 64, 0, 1).with_adaptive(AdaptivePolicy {
+                min_capacity: 8,
+                low_watermark: 0.25,
+                high_watermark: 0.75,
+            });
+        assert_eq!(asm.effective_capacity(0), 64);
+        asm.observe_occupancy(0, 0.0); // cold link: halve
+        assert_eq!(asm.effective_capacity(0), 32);
+        for _ in 0..10 {
+            asm.observe_occupancy(0, 0.0);
+        }
+        assert_eq!(asm.effective_capacity(0), 8, "clamped at the policy floor");
+        assert_eq!(asm.effective_capacity(1), 64, "other destinations untouched");
+        asm.observe_occupancy(0, 0.5); // between watermarks: hold
+        assert_eq!(asm.effective_capacity(0), 8);
+        for _ in 0..10 {
+            asm.observe_occupancy(0, 0.9); // hot link: double back
+        }
+        assert_eq!(asm.effective_capacity(0), 64, "recovers to the configured capacity");
+    }
+
+    #[test]
+    fn adaptive_seal_threshold_changes_block_sizes_not_contents() {
+        let pool = pool();
+        let mut fixed = BlockAssembler::new(Arc::clone(&pool), 4, 0, 1);
+        let mut adaptive =
+            BlockAssembler::new(Arc::clone(&pool), 4, 0, 1).with_adaptive(AdaptivePolicy {
+                min_capacity: 1,
+                low_watermark: 0.25,
+                high_watermark: 0.75,
+            });
+        adaptive.observe_occupancy(0, 0.0); // effective capacity now 2
+        let mut rows_fixed: Vec<Tuple> = Vec::new();
+        let mut rows_adaptive: Vec<Tuple> = Vec::new();
+        let mut sealed_adaptive = 0;
+        for i in 0..8u64 {
+            if let Some(b) = fixed.push(0, "R", &[i]) {
+                rows_fixed.extend(b.rows());
+                pool.give_back(b.into_columns());
+            }
+            if let Some(b) = adaptive.push(0, "R", &[i]) {
+                assert_eq!(b.len(), 2, "adapted seal threshold");
+                sealed_adaptive += 1;
+                rows_adaptive.extend(b.rows());
+                pool.give_back(b.into_columns());
+            }
+        }
+        for (_, b) in fixed.flush() {
+            rows_fixed.extend(b.rows());
+            pool.give_back(b.into_columns());
+        }
+        for (_, b) in adaptive.flush() {
+            rows_adaptive.extend(b.rows());
+            pool.give_back(b.into_columns());
+        }
+        assert_eq!(sealed_adaptive, 4, "twice as many, half-sized blocks");
+        // Same tuples in the same per-link order, only framed differently.
+        assert_eq!(rows_fixed.len(), 8);
+        assert_eq!(rows_fixed, rows_adaptive);
         assert!(pool.stats().balanced());
     }
 

@@ -46,7 +46,7 @@ impl Cluster {
     /// if the configuration requests hard budgets — returns
     /// [`SimError::Overload`] when a server receives more than
     /// `c · N / p^{1−ε}` bytes in a round.
-    pub fn run<P: MpcProgram>(&self, program: &P, db: &Database) -> Result<RunResult> {
+    pub fn run<P: MpcProgram + ?Sized>(&self, program: &P, db: &Database) -> Result<RunResult> {
         let p = self.config.p;
         let input_bytes = db.total_bytes();
         let budget_bytes = self.config.budget_bytes(input_bytes);
@@ -140,9 +140,9 @@ impl Cluster {
 }
 
 /// Aggregate per-server received volumes into a [`RoundStats`] — the one
-/// formula both backends share, so their statistics can never drift
-/// apart.
-pub(crate) fn build_round_stats(
+/// formula every backend shares (including the out-of-process runners in
+/// `mpc-net`), so their statistics can never drift apart.
+pub fn build_round_stats(
     round: usize,
     per_server_bytes: &[u64],
     per_server_tuples: &[u64],
@@ -174,13 +174,13 @@ pub(crate) fn build_round_stats(
 /// The server blamed for an overloaded round: the one that received the
 /// most bytes (ties broken towards the highest id, as `max_by_key`
 /// resolves them — kept identical across backends).
-pub(crate) fn overloaded_server(per_server_bytes: &[u64]) -> (usize, u64) {
+pub fn overloaded_server(per_server_bytes: &[u64]) -> (usize, u64) {
     per_server_bytes.iter().copied().enumerate().max_by_key(|(_, b)| *b).expect("p >= 1")
 }
 
 /// Union the per-server outputs into the final (deduplicated) result
 /// relation, recording each server's pre-deduplication contribution.
-pub(crate) fn union_outputs<P: MpcProgram>(
+pub fn union_outputs<P: MpcProgram + ?Sized>(
     program: &P,
     outputs: Vec<Relation>,
 ) -> Result<(Relation, Vec<usize>)> {

@@ -125,6 +125,12 @@ pub struct AsyncConfig {
     pub cost: CostModel,
     /// Deterministic straggler injection, if any.
     pub straggler: Option<StragglerSpec>,
+    /// Per-link adaptive block sizing: when set, each sender's
+    /// [`BlockAssembler`] tracks its links' lane occupancy and shrinks the
+    /// seal threshold on cold links (smaller blocks, less batching
+    /// latency). Outputs and volume statistics are invariant under
+    /// adaptation.
+    pub adaptive: Option<crate::block::AdaptivePolicy>,
 }
 
 impl Default for AsyncConfig {
@@ -135,6 +141,7 @@ impl Default for AsyncConfig {
             pipeline_depth: 1,
             cost: CostModel::default(),
             straggler: None,
+            adaptive: None,
         }
     }
 }
@@ -179,6 +186,13 @@ impl AsyncConfig {
     #[must_use]
     pub fn with_straggler(mut self, spec: StragglerSpec) -> Self {
         self.straggler = Some(spec);
+        self
+    }
+
+    /// Builder-style: adapt block sizes to per-link lane occupancy.
+    #[must_use]
+    pub fn with_adaptive_blocks(mut self, policy: crate::block::AdaptivePolicy) -> Self {
+        self.adaptive = Some(policy);
         self
     }
 }
@@ -299,6 +313,7 @@ impl Cluster {
                 peers: (0..p).map(|dest| lane_senders[dest][id].clone()).collect(),
                 pool: Arc::clone(&pool),
                 block_capacity,
+                adaptive: async_config.adaptive,
                 state: ServerState::new(id, db.domain_size()),
                 fins: vec![0; total_rounds],
                 stash: (0..total_rounds).map(|_| RoundStage::default()).collect(),
@@ -316,7 +331,15 @@ impl Cluster {
                 // panic inside the program's routing — otherwise every
                 // worker waits forever for the round-1 FIN.
                 catch_unwind(AssertUnwindSafe(|| {
-                    run_input(program, db, p, &input_links, &pool, block_capacity)
+                    run_input(
+                        program,
+                        db,
+                        p,
+                        &input_links,
+                        &pool,
+                        block_capacity,
+                        async_config.adaptive,
+                    )
                 }))
                 .unwrap_or_else(|_| {
                     for lane in &input_links {
@@ -555,6 +578,8 @@ struct Worker<'a, P: MpcProgram> {
     pool: Arc<BlockPool>,
     /// Tuples per outgoing block.
     block_capacity: usize,
+    /// Per-link adaptive block sizing, if enabled.
+    adaptive: Option<crate::block::AdaptivePolicy>,
     state: ServerState,
     /// FIN markers seen, per round (index `round - 1`).
     fins: Vec<usize>,
@@ -597,6 +622,12 @@ impl<P: MpcProgram> Worker<'_, P> {
                     self.id,
                     round,
                 );
+                if let Some(policy) = self.adaptive {
+                    asm = asm.with_adaptive(policy);
+                    for dest in 0..self.p {
+                        asm.observe_occupancy(dest, self.peers[dest].occupancy());
+                    }
+                }
                 for msg in routed {
                     for &dest in &msg.destinations {
                         if dest >= self.p {
@@ -607,6 +638,9 @@ impl<P: MpcProgram> Worker<'_, P> {
                         }
                         if let Some(block) = asm.push(dest, &msg.tag, msg.tuple.values()) {
                             self.send_packet(dest, Packet::Block(block))?;
+                            // Re-sample after each sealed block: the link's
+                            // backlog is what the send just changed.
+                            asm.observe_occupancy(dest, self.peers[dest].occupancy());
                         }
                     }
                 }
@@ -749,6 +783,7 @@ fn run_input<P: MpcProgram>(
     links: &[LinkSender<Packet>],
     pool: &Arc<BlockPool>,
     block_capacity: usize,
+    adaptive: Option<crate::block::AdaptivePolicy>,
 ) -> std::result::Result<(), Exit> {
     let abort_all = |links: &[LinkSender<Packet>]| {
         for lane in links {
@@ -766,6 +801,12 @@ fn run_input<P: MpcProgram>(
         // One assembler per logical input server: its blocks carry
         // `from = p + ri`, round 1.
         let mut asm = BlockAssembler::new(Arc::clone(pool), block_capacity, p + ri, 1);
+        if let Some(policy) = adaptive {
+            asm = asm.with_adaptive(policy);
+            for (dest, lane) in links.iter().enumerate() {
+                asm.observe_occupancy(dest, lane.occupancy());
+            }
+        }
         for msg in routed {
             for &dest in &msg.destinations {
                 if dest >= p {
@@ -778,6 +819,7 @@ fn run_input<P: MpcProgram>(
                     if links[dest].send(Packet::Block(block)).is_err() {
                         return Err(Exit::Cancelled);
                     }
+                    asm.observe_occupancy(dest, links[dest].occupancy());
                 }
             }
         }

@@ -54,8 +54,8 @@ pub mod schedule;
 pub mod server;
 pub mod stats;
 
-pub use block::{BlockAssembler, ColumnBuf, TupleBlock};
-pub use cluster::Cluster;
+pub use block::{AdaptivePolicy, BlockAssembler, ColumnBuf, TupleBlock};
+pub use cluster::{build_round_stats, overloaded_server, union_outputs, Cluster};
 pub use cluster_async::{
     run_differential, AsyncConfig, AsyncRunResult, Backend, BackendRun, DifferentialReport,
 };

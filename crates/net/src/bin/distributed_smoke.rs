@@ -1,0 +1,125 @@
+//! CI smoke for the distributed stack: spawned processes and the
+//! multi-query service, both checked against `Cluster::run`.
+//!
+//! Two stages, both differential:
+//!
+//! 1. **Spawned multi-process runner** — the triangle query under
+//!    one-round HyperCube on `p = 4` worker OS processes over localhost
+//!    (`mpc_workerd` spawned next to this binary), compared against the
+//!    synchronous reference for identical outputs, per-round volumes and
+//!    per-server output counts.
+//! 2. **Concurrent service trace** — two queries (triangle + 4-cycle)
+//!    multiplexed over one shared cluster, each compared the same way.
+//!
+//! Any divergence prints what differed and exits non-zero, failing the
+//! CI job.
+
+use std::process::exit;
+use std::sync::Arc;
+
+use mpc_net::spec::{DbSpec, ProgramSpec};
+use mpc_net::{JobSpec, QueryJob, QueryService, ServiceConfig};
+use mpc_sim::{Cluster, MpcConfig, RunResult};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("distributed_smoke: DIVERGENCE: {msg}");
+    exit(1);
+}
+
+fn check(
+    label: &str,
+    reference: &RunResult,
+    got_output: &mpc_storage::Relation,
+    got_rounds: &[mpc_sim::RoundStats],
+) {
+    if !got_output.same_tuples(&reference.output) {
+        fail(&format!(
+            "{label}: output differs ({} vs {} tuples)",
+            got_output.len(),
+            reference.output.len()
+        ));
+    }
+    if got_rounds != reference.rounds.as_slice() {
+        fail(&format!("{label}: per-round statistics differ"));
+    }
+    println!(
+        "distributed_smoke: {label}: OK ({} output tuples, {} rounds)",
+        got_output.len(),
+        got_rounds.len()
+    );
+}
+
+fn spawned_stage() {
+    let job = JobSpec {
+        program: ProgramSpec::HyperCube,
+        query: mpc_cq::families::triangle().to_string(),
+        db: DbSpec::Matching { n: 800, seed: 17 },
+        p: 4,
+        epsilon: 0.5,
+        seed: 23,
+        queue_capacity: 64,
+        block_capacity: 128,
+    };
+    let built = job.build().unwrap_or_else(|e| fail(&format!("spawned: job build: {e}")));
+    let reference = built
+        .cluster
+        .run(built.program.as_ref(), &built.db)
+        .unwrap_or_else(|e| fail(&format!("spawned: reference run: {e}")));
+
+    let worker_bin = std::env::current_exe()
+        .ok()
+        .and_then(|exe| exe.parent().map(|d| d.join("mpc_workerd")))
+        .filter(|p| p.exists())
+        .unwrap_or_else(|| {
+            fail("spawned: mpc_workerd not found next to this binary (build it first: cargo build -p mpc-net --bins)")
+        });
+    let got = mpc_net::run_spawned(&job, &worker_bin)
+        .unwrap_or_else(|e| fail(&format!("spawned: distributed run: {e}")));
+    check("spawned C3_hc p=4", &reference, &got.output, &got.rounds);
+    if got.per_server_output != reference.per_server_output {
+        fail("spawned C3_hc p=4: per-server output counts differ");
+    }
+}
+
+fn service_stage() {
+    let p = 4;
+    let q1 = mpc_cq::families::triangle();
+    let q2 = mpc_cq::families::cycle(4);
+    let db1 = Arc::new(mpc_data::matching_database(&q1, 700, 5));
+    let db2 = Arc::new(mpc_data::matching_database(&q2, 500, 6));
+
+    let mut svc = QueryService::start(&ServiceConfig::new(p, 0.5))
+        .unwrap_or_else(|e| fail(&format!("service: start: {e}")));
+    // Submit both before draining either: the trace is genuinely
+    // concurrent on the shared reactors.
+    let a = svc
+        .submit(&QueryJob { query: q1.clone(), db: db1.clone(), seed: 31, plan_epsilon: None })
+        .unwrap_or_else(|e| fail(&format!("service: submit 1: {e}")));
+    let b = svc
+        .submit(&QueryJob { query: q2.clone(), db: db2.clone(), seed: 32, plan_epsilon: None })
+        .unwrap_or_else(|e| fail(&format!("service: submit 2: {e}")));
+    let mut outcomes = Vec::new();
+    for _ in 0..2 {
+        outcomes
+            .push(svc.next_outcome().unwrap_or_else(|e| fail(&format!("service: outcome: {e}"))));
+    }
+    svc.shutdown().unwrap_or_else(|e| fail(&format!("service: shutdown: {e}")));
+    outcomes.sort_by_key(|o| o.qid);
+
+    for (qid, q, db, seed) in [(a, q1, db1, 31), (b, q2, db2, 32)] {
+        let cluster = Cluster::new(MpcConfig::new(p, 0.5)).expect("valid config");
+        let program = mpc_core::hypercube::HyperCubeProgram::new(&q, p, seed)
+            .unwrap_or_else(|e| fail(&format!("service: reference program: {e}")));
+        let reference = cluster
+            .run(&program, &db)
+            .unwrap_or_else(|e| fail(&format!("service: reference run: {e}")));
+        let outcome = &outcomes[qid as usize];
+        check(&format!("service query {qid}"), &reference, &outcome.output, &outcome.rounds);
+    }
+}
+
+fn main() {
+    spawned_stage();
+    service_stage();
+    println!("distributed_smoke: all stages passed");
+}

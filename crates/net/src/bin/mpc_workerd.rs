@@ -1,0 +1,34 @@
+//! The spawned worker daemon: one OS process per MPC server.
+//!
+//! Launched by the master (`mpc_net::run_spawned`) as
+//! `mpc_workerd --master HOST:PORT --worker ID`; everything else — the
+//! job spec, the peer table, the per-round barriers — arrives over the
+//! control connection.
+
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut master: Option<String> = None;
+    let mut worker: Option<usize> = None;
+    let mut i = 1;
+    while i + 1 < args.len() {
+        match args[i].as_str() {
+            "--master" => master = Some(args[i + 1].clone()),
+            "--worker" => worker = args[i + 1].parse().ok(),
+            other => {
+                eprintln!("mpc_workerd: unknown argument {other:?}");
+                exit(2);
+            }
+        }
+        i += 2;
+    }
+    let (Some(master), Some(worker)) = (master, worker) else {
+        eprintln!("usage: mpc_workerd --master HOST:PORT --worker ID");
+        exit(2);
+    };
+    if let Err(e) = mpc_net::worker_main(&master, worker) {
+        eprintln!("mpc_workerd[{worker}]: {e}");
+        exit(1);
+    }
+}

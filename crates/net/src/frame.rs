@@ -1,0 +1,465 @@
+//! The length-prefixed binary wire format.
+//!
+//! Every frame is `u32 LE body length` followed by the body; the body is
+//! one kind byte plus kind-specific fields. Integers are little-endian,
+//! strings are `u32 length + UTF-8 bytes`. The only data frame is
+//! [`Frame::Block`], whose payload is the columnar
+//! [`TupleBlock`] layout **verbatim**: `arity`
+//! contiguous runs of `rows` 8-byte values each, one per column — the
+//! same bytes the in-process plane keeps in its pooled
+//! [`ColumnBuf`](mpc_sim::ColumnBuf)s, so encoding is a columnwise copy
+//! and decoding refills a pooled buffer straight from the socket with no
+//! row-major detour.
+//!
+//! Control frames implement the master/worker protocol (see
+//! [`crate::master`] for the state machine): `Hello` → `Job` → `Peers` →
+//! `MeshReady` → per-round `Ready`/`Proceed` → `Summary` → `Shutdown`,
+//! with `Abort` usable by either side at any point. `DataHello`
+//! identifies the connecting worker on a freshly opened data socket.
+
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+use mpc_sim::{BlockPool, TupleBlock};
+use mpc_storage::{Relation, Tuple, Value};
+
+use crate::{NetError, Result};
+
+/// Upper bound on a frame body, as a sanity check against corrupted
+/// length prefixes (64 MiB is far above any block this workspace seals).
+const MAX_BODY: u32 = 64 << 20;
+
+const KIND_HELLO: u8 = 1;
+const KIND_JOB: u8 = 2;
+const KIND_PEERS: u8 = 3;
+const KIND_MESH_READY: u8 = 4;
+const KIND_READY: u8 = 5;
+const KIND_PROCEED: u8 = 6;
+const KIND_BLOCK: u8 = 7;
+const KIND_FIN: u8 = 8;
+const KIND_SUMMARY: u8 = 9;
+const KIND_SHUTDOWN: u8 = 10;
+const KIND_ABORT: u8 = 11;
+const KIND_DATA_HELLO: u8 = 12;
+
+/// One frame on a control or data socket.
+#[derive(Debug, Clone)]
+pub enum Frame {
+    /// Worker → master, first frame on the control socket: who am I and
+    /// where do my peers reach my data listener.
+    Hello {
+        /// The worker's server id in `0..p`.
+        worker_id: u32,
+        /// TCP port of the worker's data listener (on localhost).
+        data_port: u16,
+    },
+    /// Master → worker: the job description ([`crate::JobSpec`] wire
+    /// form).
+    Job {
+        /// `JobSpec::to_wire()` text.
+        spec: String,
+    },
+    /// Master → worker: the data-plane address of every worker.
+    Peers {
+        /// `(worker id, "host:port")` pairs, one per worker.
+        peers: Vec<(u32, String)>,
+    },
+    /// Worker → master: all outbound data connections are up.
+    MeshReady,
+    /// Worker → master: finished `round`, ready for the next one. Round 0
+    /// is the mesh barrier before the first data round.
+    Ready {
+        /// The completed round.
+        round: u32,
+    },
+    /// Master → worker: every worker is ready; enter `round + 1`.
+    Proceed {
+        /// The round every worker has completed.
+        round: u32,
+    },
+    /// A sealed columnar tuple block (the only data frame).
+    Block(TupleBlock),
+    /// All round-`round` blocks from this sender have been sent.
+    Fin {
+        /// The finished round (1-based).
+        round: u32,
+    },
+    /// Worker → master at end of job: this server's output relation and
+    /// per-round received volumes.
+    Summary {
+        /// The server's local (pre-union) output relation.
+        output: Relation,
+        /// Bytes received per round (index `round - 1`).
+        per_round_bytes: Vec<u64>,
+        /// Tuples received per round.
+        per_round_tuples: Vec<u64>,
+    },
+    /// Master → worker: the job is complete, exit cleanly.
+    Shutdown,
+    /// Either direction: the job is dead; tear everything down.
+    Abort {
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// Worker → worker, first frame on a freshly opened data socket:
+    /// which server is on the other end.
+    DataHello {
+        /// Sending server id.
+        from: u32,
+    },
+}
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// A cursor over a received frame body.
+struct Body<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Body<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self.at.checked_add(n).filter(|&e| e <= self.bytes.len());
+        let Some(end) = end else {
+            return Err(NetError::Protocol("frame body truncated".to_string()));
+        };
+        let out = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(out)
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| NetError::Protocol("frame string is not UTF-8".to_string()))
+    }
+
+    fn values(&mut self, count: usize, out: &mut Vec<Value>) -> Result<()> {
+        let raw = self.take(count * 8)?;
+        out.reserve(count);
+        for chunk in raw.chunks_exact(8) {
+            out.push(u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+        }
+        Ok(())
+    }
+}
+
+/// Serialise `frame` into `buf` (cleared first): length prefix + body.
+pub fn encode_frame(frame: &Frame, buf: &mut Vec<u8>) {
+    buf.clear();
+    put_u32(buf, 0); // length placeholder
+    match frame {
+        Frame::Hello { worker_id, data_port } => {
+            buf.push(KIND_HELLO);
+            put_u32(buf, *worker_id);
+            put_u16(buf, *data_port);
+        }
+        Frame::Job { spec } => {
+            buf.push(KIND_JOB);
+            put_str(buf, spec);
+        }
+        Frame::Peers { peers } => {
+            buf.push(KIND_PEERS);
+            put_u32(buf, peers.len() as u32);
+            for (id, addr) in peers {
+                put_u32(buf, *id);
+                put_str(buf, addr);
+            }
+        }
+        Frame::MeshReady => buf.push(KIND_MESH_READY),
+        Frame::Ready { round } => {
+            buf.push(KIND_READY);
+            put_u32(buf, *round);
+        }
+        Frame::Proceed { round } => {
+            buf.push(KIND_PROCEED);
+            put_u32(buf, *round);
+        }
+        Frame::Block(block) => {
+            buf.push(KIND_BLOCK);
+            put_str(buf, &block.tag);
+            put_u32(buf, block.round as u32);
+            put_u32(buf, block.from as u32);
+            put_u64(buf, block.seq);
+            put_u32(buf, block.arity() as u32);
+            put_u32(buf, block.len() as u32);
+            for c in 0..block.arity() {
+                for &v in block.column(c) {
+                    put_u64(buf, v);
+                }
+            }
+        }
+        Frame::Fin { round } => {
+            buf.push(KIND_FIN);
+            put_u32(buf, *round);
+        }
+        Frame::Summary { output, per_round_bytes, per_round_tuples } => {
+            buf.push(KIND_SUMMARY);
+            put_str(buf, output.name());
+            put_u32(buf, output.arity() as u32);
+            put_u32(buf, output.len() as u32);
+            for t in output.iter() {
+                for &v in t.values() {
+                    put_u64(buf, v);
+                }
+            }
+            put_u32(buf, per_round_bytes.len() as u32);
+            for &b in per_round_bytes {
+                put_u64(buf, b);
+            }
+            put_u32(buf, per_round_tuples.len() as u32);
+            for &t in per_round_tuples {
+                put_u64(buf, t);
+            }
+        }
+        Frame::Shutdown => buf.push(KIND_SHUTDOWN),
+        Frame::Abort { reason } => {
+            buf.push(KIND_ABORT);
+            put_str(buf, reason);
+        }
+        Frame::DataHello { from } => {
+            buf.push(KIND_DATA_HELLO);
+            put_u32(buf, *from);
+        }
+    }
+    let body_len = (buf.len() - 4) as u32;
+    buf[..4].copy_from_slice(&body_len.to_le_bytes());
+}
+
+/// Write one frame to `w` (buffered by the caller; no flush here).
+///
+/// # Errors
+///
+/// Propagates write errors.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<()> {
+    let mut buf = Vec::new();
+    encode_frame(frame, &mut buf);
+    w.write_all(&buf)?;
+    Ok(())
+}
+
+/// Read one frame from `r`. Block payloads refill a [`mpc_sim::ColumnBuf`] checked
+/// out of `pool`, so steady-state decoding reuses storage.
+///
+/// # Errors
+///
+/// Fails on socket errors, truncated or oversized frames, and malformed
+/// bodies.
+pub fn read_frame<R: Read>(r: &mut R, pool: &BlockPool) -> Result<Frame> {
+    let mut len4 = [0u8; 4];
+    r.read_exact(&mut len4)?;
+    let len = u32::from_le_bytes(len4);
+    if len == 0 || len > MAX_BODY {
+        return Err(NetError::Protocol(format!("implausible frame length {len}")));
+    }
+    let mut raw = vec![0u8; len as usize];
+    r.read_exact(&mut raw)?;
+    decode_body(&raw, pool)
+}
+
+/// Decode one frame body (everything after the length prefix).
+///
+/// # Errors
+///
+/// Fails on malformed bodies.
+pub fn decode_body(raw: &[u8], pool: &BlockPool) -> Result<Frame> {
+    let mut b = Body { bytes: raw, at: 0 };
+    let kind = b.take(1)?[0];
+    let frame = match kind {
+        KIND_HELLO => Frame::Hello { worker_id: b.u32()?, data_port: b.u16()? },
+        KIND_JOB => Frame::Job { spec: b.str()? },
+        KIND_PEERS => {
+            let count = b.u32()? as usize;
+            let mut peers = Vec::with_capacity(count);
+            for _ in 0..count {
+                let id = b.u32()?;
+                let addr = b.str()?;
+                peers.push((id, addr));
+            }
+            Frame::Peers { peers }
+        }
+        KIND_MESH_READY => Frame::MeshReady,
+        KIND_READY => Frame::Ready { round: b.u32()? },
+        KIND_PROCEED => Frame::Proceed { round: b.u32()? },
+        KIND_BLOCK => {
+            let tag: Arc<str> = Arc::from(b.str()?.as_str());
+            let round = b.u32()? as usize;
+            let from = b.u32()? as usize;
+            let seq = b.u64()?;
+            let arity = b.u32()? as usize;
+            let rows = b.u32()? as usize;
+            let mut cols = pool.checkout(arity, rows);
+            let refilled = cols.refill(rows, |col| b.values(rows, col));
+            if let Err(e) = refilled {
+                pool.give_back(cols);
+                return Err(e);
+            }
+            Frame::Block(TupleBlock::from_parts(tag, round, from, seq, cols))
+        }
+        KIND_FIN => Frame::Fin { round: b.u32()? },
+        KIND_SUMMARY => {
+            let name = b.str()?;
+            let arity = b.u32()? as usize;
+            let rows = b.u32()? as usize;
+            let mut output = Relation::empty(&name, arity);
+            let mut row = Vec::with_capacity(arity);
+            for _ in 0..rows {
+                row.clear();
+                b.values(arity, &mut row)?;
+                output
+                    .insert(Tuple(row.clone()))
+                    .map_err(|e| NetError::Protocol(format!("summary relation: {e}")))?;
+            }
+            let nb = b.u32()? as usize;
+            let mut per_round_bytes = Vec::with_capacity(nb);
+            for _ in 0..nb {
+                per_round_bytes.push(b.u64()?);
+            }
+            let nt = b.u32()? as usize;
+            let mut per_round_tuples = Vec::with_capacity(nt);
+            for _ in 0..nt {
+                per_round_tuples.push(b.u64()?);
+            }
+            Frame::Summary { output, per_round_bytes, per_round_tuples }
+        }
+        KIND_SHUTDOWN => Frame::Shutdown,
+        KIND_ABORT => Frame::Abort { reason: b.str()? },
+        KIND_DATA_HELLO => Frame::DataHello { from: b.u32()? },
+        other => return Err(NetError::Protocol(format!("unknown frame kind {other}"))),
+    };
+    if b.at != raw.len() {
+        return Err(NetError::Protocol(format!(
+            "frame kind {kind} left {} trailing bytes",
+            raw.len() - b.at
+        )));
+    }
+    Ok(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_sim::BlockAssembler;
+
+    fn round_trip(frame: &Frame, pool: &BlockPool) -> Frame {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, frame).unwrap();
+        let mut cursor = &wire[..];
+        let got = read_frame(&mut cursor, pool).unwrap();
+        assert!(cursor.is_empty(), "frame consumed exactly");
+        got
+    }
+
+    #[test]
+    fn control_frames_round_trip() {
+        let pool = BlockPool::new();
+        let frames = vec![
+            Frame::Hello { worker_id: 3, data_port: 40123 },
+            Frame::Job { spec: "program=hypercube\nquery=C3(a,b,c) :- R(a,b)".to_string() },
+            Frame::Peers {
+                peers: vec![(0, "127.0.0.1:4000".to_string()), (1, "127.0.0.1:4001".to_string())],
+            },
+            Frame::MeshReady,
+            Frame::Ready { round: 2 },
+            Frame::Proceed { round: 2 },
+            Frame::Fin { round: 1 },
+            Frame::Shutdown,
+            Frame::Abort { reason: "worker 2 died".to_string() },
+            Frame::DataHello { from: 5 },
+        ];
+        for f in frames {
+            let got = round_trip(&f, &pool);
+            assert_eq!(format!("{f:?}"), format!("{got:?}"));
+        }
+    }
+
+    #[test]
+    fn block_frames_preserve_columns_and_recycle_storage() {
+        let pool = Arc::new(BlockPool::new());
+        let mut asm = BlockAssembler::new(Arc::clone(&pool), 4, 7, 2);
+        let mut sealed = None;
+        for i in 0..4u64 {
+            if let Some(b) = asm.push(1, "Edge", &[i, i * 10, i * 100]) {
+                sealed = Some(b);
+            }
+        }
+        let block = sealed.expect("sealed at capacity");
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::Block(block.clone())).unwrap();
+        let got = match read_frame(&mut &wire[..], &pool).unwrap() {
+            Frame::Block(b) => b,
+            other => panic!("expected a block, got {other:?}"),
+        };
+        assert_eq!((&*got.tag, got.round, got.from, got.seq), ("Edge", 2, 7, 0));
+        assert_eq!(got.len(), 4);
+        assert_eq!(got.arity(), 3);
+        for c in 0..3 {
+            assert_eq!(got.column(c), block.column(c), "column {c} intact");
+        }
+        assert_eq!(got.payload_bytes(), block.payload_bytes());
+        pool.give_back(block.into_columns());
+        pool.give_back(got.into_columns());
+        assert!(pool.stats().balanced());
+    }
+
+    #[test]
+    fn summary_frames_round_trip() {
+        let pool = BlockPool::new();
+        let output = Relation::from_tuples("q", 2, vec![[1u64, 2], [3, 4]]).unwrap();
+        let f = Frame::Summary {
+            output: output.clone(),
+            per_round_bytes: vec![128, 0, 64],
+            per_round_tuples: vec![8, 0, 4],
+        };
+        match round_trip(&f, &pool) {
+            Frame::Summary { output: got, per_round_bytes, per_round_tuples } => {
+                assert!(got.same_tuples(&output));
+                assert_eq!(per_round_bytes, vec![128, 0, 64]);
+                assert_eq!(per_round_tuples, vec![8, 0, 4]);
+            }
+            other => panic!("expected a summary, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected_not_trusted() {
+        let pool = BlockPool::new();
+        // Implausible length prefix.
+        let wire = (MAX_BODY + 1).to_le_bytes();
+        assert!(read_frame(&mut &wire[..], &pool).is_err());
+        // Unknown kind.
+        assert!(decode_body(&[99], &pool).is_err());
+        // Truncated body.
+        assert!(decode_body(&[KIND_READY, 1], &pool).is_err());
+        // Trailing garbage.
+        assert!(decode_body(&[KIND_MESH_READY, 0, 0], &pool).is_err());
+    }
+}

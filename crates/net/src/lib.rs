@@ -1,0 +1,88 @@
+//! Distributed execution and a multi-query service for the MPC
+//! simulator — the "millions of users" tier of the reproduction.
+//!
+//! Everything below `mpc-net` runs the tuple-based MPC protocol of Beame,
+//! Koutris & Suciu inside one process. This crate lifts the same protocol
+//! onto a real network stack, in three layers:
+//!
+//! * **[`frame`]** — a length-prefixed binary wire format. Data frames
+//!   carry the columnar [`mpc_sim::TupleBlock`] layout verbatim (one
+//!   contiguous run of 8-byte values per column), and the decoder refills
+//!   pooled [`mpc_sim::ColumnBuf`]s via a [`mpc_sim::BlockPool`], so the
+//!   receive path allocates nothing in steady state. Control frames cover
+//!   the master/worker handshake, per-round barriers and fail-fast aborts.
+//! * **[`transport`] / [`runner`]** — a [`Transport`] trait with two
+//!   implementations: the in-process bounded lanes of
+//!   [`mpc_sim::queue`] (so the differential layer keeps proving
+//!   semantics) and real TCP sockets. [`runner::run_distributed`] drives
+//!   one worker per server through either transport and rebuilds the
+//!   exact [`mpc_sim::RunResult`] the single-process backends produce.
+//! * **[`master`] / [`spec`]** — the spawned-process mode: each server is
+//!   a real OS process (`mpc_workerd`) coordinated over localhost by a
+//!   master (hello handshake, per-round ready/proceed signals, clean
+//!   shutdown, fail-fast on worker death — the D-FDB coordination
+//!   pattern). A [`JobSpec`] describes the job in a self-contained wire
+//!   form so workers can rebuild the program and database on their own.
+//! * **[`service`]** — a [`QueryService`] front-end that accepts a stream
+//!   of parsed CQs, analyses them (cache-hot via `mpc_lp::LpCache`),
+//!   admits them against a server byte budget, and multiplexes many
+//!   concurrent query executions over one shared cluster using per-query
+//!   namespaces in message tags.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod frame;
+pub mod master;
+pub mod runner;
+pub mod service;
+pub mod spec;
+pub mod transport;
+
+use std::fmt;
+
+pub use frame::Frame;
+pub use master::{run_spawned, worker_main};
+pub use runner::{run_distributed, run_transport_differential, DistConfig, TransportKind};
+pub use service::{QueryJob, QueryOutcome, QueryService, ServiceConfig};
+pub use spec::{JobSpec, ProgramSpec};
+pub use transport::{InProcTransport, NetPacket, SendOutcome, TcpTransport, Transport};
+
+/// Errors raised by the networking layer.
+#[derive(Debug)]
+pub enum NetError {
+    /// An error surfaced by the simulator core (program, storage, config).
+    Sim(mpc_sim::SimError),
+    /// A socket or process error.
+    Io(std::io::Error),
+    /// The peer violated the wire protocol (bad frame, unexpected state),
+    /// or a worker died / aborted mid-job.
+    Protocol(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Sim(e) => write!(f, "simulator error: {e}"),
+            NetError::Io(e) => write!(f, "io error: {e}"),
+            NetError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<mpc_sim::SimError> for NetError {
+    fn from(e: mpc_sim::SimError) -> Self {
+        NetError::Sim(e)
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+/// Convenience result alias used across this crate.
+pub type Result<T> = std::result::Result<T, NetError>;

@@ -1,0 +1,442 @@
+//! The master control plane and the spawned-process execution mode.
+//!
+//! The coordination pattern follows the distributed-FDB design: a master
+//! owns one control connection per worker and drives the job through a
+//! fixed state machine —
+//!
+//! ```text
+//! worker            master
+//!   Hello{id, data_port}  ───▶
+//!   ◀───  Job{spec}              (spawned mode only)
+//!   ◀───  Peers{addr table}
+//!   ... mesh-connect to peers (DataHello) ...
+//!   MeshReady  ───▶
+//!   ◀───  Proceed(0)             (all meshed: the job starts)
+//!   Ready(r)  ───▶               (each round)
+//!   ◀───  Proceed(r)
+//!   Summary{output, volumes}  ───▶   (spawned mode only)
+//!   ◀───  Shutdown
+//! ```
+//!
+//! with `Abort` valid in either direction at any time. The master polls
+//! every control socket with a short read timeout while it waits, so a
+//! worker process dying (its socket closing) fails the whole job fast
+//! instead of deadlocking the barrier — and on any failure it broadcasts
+//! `Abort` so surviving workers unwind too.
+//!
+//! [`run_spawned`] is the top of the stack: it spawns one `mpc_workerd`
+//! OS process per server over localhost, serves the control plane, and
+//! folds the workers' summaries into the same [`RunResult`] as
+//! [`mpc_sim::Cluster::run`]. [`worker_main`] is the matching worker-side
+//! entry point, rebuilding the job from its [`JobSpec`] wire form.
+
+use std::io::BufRead;
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::path::Path;
+use std::process::{Child, Command};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mpc_sim::{BlockPool, RunResult};
+
+use crate::frame::{read_frame, write_frame, Frame};
+use crate::runner::{assemble_result, tcp_worker_setup, worker_loop, WorkerSummary};
+use crate::spec::JobSpec;
+use crate::{NetError, Result};
+
+/// How long the master waits for all workers to dial in before declaring
+/// the job dead (covers a worker binary that fails to start).
+const ACCEPT_DEADLINE: Duration = Duration::from_secs(30);
+
+/// The poll interval while waiting on worker control frames: short enough
+/// that a dead worker fails the job promptly, long enough not to spin.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Lane capacity for a spawned worker's inbox. TCP inboxes are fed by
+/// reader threads via `force_send` (the kernel socket buffers are the
+/// real bound), so this is shape, not backpressure.
+const SPAWNED_QUEUE_CAPACITY: usize = 64;
+
+/// One worker's control connection, reads buffered.
+struct WorkerCtl {
+    reader: BufReader<TcpStream>,
+}
+
+/// The master's side of the handshake: `p` control connections, indexed
+/// by worker id.
+pub struct ControlPlane {
+    workers: Vec<WorkerCtl>,
+    pool: BlockPool,
+}
+
+impl std::fmt::Debug for ControlPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ControlPlane").field("workers", &self.workers.len()).finish()
+    }
+}
+
+impl ControlPlane {
+    /// Accept `p` worker hellos on `listener`, optionally hand each the
+    /// job spec, broadcast the peer address table, collect every
+    /// `MeshReady` and release the cluster with `Proceed(0)`.
+    ///
+    /// `watch` is polled while waiting for connections; returning
+    /// `Some(reason)` fails the handshake immediately (the spawned mode
+    /// uses it to notice a worker process dying before it ever dials in).
+    ///
+    /// # Errors
+    ///
+    /// Fails (after aborting every connected worker) when a worker never
+    /// dials in before the deadline, dies mid-handshake or violates the
+    /// protocol.
+    pub fn accept(
+        listener: &TcpListener,
+        p: usize,
+        job: Option<&str>,
+        watch: Option<&mut dyn FnMut() -> Option<String>>,
+    ) -> Result<ControlPlane> {
+        let mut plane = ControlPlane { workers: Vec::new(), pool: BlockPool::new() };
+        match plane.accept_inner(listener, p, job, watch) {
+            Ok(()) => Ok(plane),
+            Err(e) => {
+                plane.abort_all(&format!("handshake failed: {e}"));
+                Err(e)
+            }
+        }
+    }
+
+    fn accept_inner(
+        &mut self,
+        listener: &TcpListener,
+        p: usize,
+        job: Option<&str>,
+        mut watch: Option<&mut dyn FnMut() -> Option<String>>,
+    ) -> Result<()> {
+        listener.set_nonblocking(true)?;
+        let deadline = Instant::now() + ACCEPT_DEADLINE;
+        let mut slots: Vec<Option<WorkerCtl>> = (0..p).map(|_| None).collect();
+        let mut addrs: Vec<Option<String>> = vec![None; p];
+        let mut connected = 0usize;
+        while connected < p {
+            let (stream, peer) = match listener.accept() {
+                Ok(conn) => conn,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if let Some(reason) = watch.as_mut().and_then(|w| w()) {
+                        return Err(NetError::Protocol(reason));
+                    }
+                    if Instant::now() > deadline {
+                        return Err(NetError::Protocol(format!(
+                            "only {connected}/{p} workers dialed in before the deadline"
+                        )));
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                    continue;
+                }
+                Err(e) => return Err(e.into()),
+            };
+            stream.set_nonblocking(false)?;
+            stream.set_nodelay(true).ok();
+            let mut ctl = WorkerCtl { reader: BufReader::new(stream) };
+            let (worker_id, data_port) = match read_frame(&mut ctl.reader, &self.pool)? {
+                Frame::Hello { worker_id, data_port } => (worker_id as usize, data_port),
+                other => {
+                    return Err(NetError::Protocol(format!("expected Hello, got {other:?}")));
+                }
+            };
+            if worker_id >= p || slots[worker_id].is_some() {
+                return Err(NetError::Protocol(format!("bad or duplicate worker id {worker_id}")));
+            }
+            if let Some(spec) = job {
+                write_frame(ctl.reader.get_mut(), &Frame::Job { spec: spec.to_string() })?;
+            }
+            addrs[worker_id] = Some(format!("{}:{data_port}", peer.ip()));
+            slots[worker_id] = Some(ctl);
+            connected += 1;
+        }
+        listener.set_nonblocking(false)?;
+        self.workers = slots.into_iter().map(|s| s.expect("all slots filled")).collect();
+        let peers: Vec<(u32, String)> = addrs
+            .into_iter()
+            .enumerate()
+            .map(|(id, a)| (id as u32, a.expect("all addrs filled")))
+            .collect();
+        self.broadcast(&Frame::Peers { peers })?;
+        self.await_all(|f| matches!(f, Frame::MeshReady), "MeshReady")?;
+        self.broadcast(&Frame::Proceed { round: 0 })?;
+        Ok(())
+    }
+
+    /// Serve the per-round barrier for `rounds` rounds: collect a
+    /// `Ready(r)` from every worker, then release them with `Proceed(r)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails (after broadcasting `Abort`) on worker death, a worker-sent
+    /// abort or barrier skew.
+    pub fn serve_barriers(&mut self, rounds: usize) -> Result<()> {
+        for round in 1..=rounds {
+            let ok = self
+                .await_all(
+                    |f| matches!(f, Frame::Ready { round: r } if *r as usize == round),
+                    &format!("Ready({round})"),
+                )
+                .and_then(|()| self.broadcast(&Frame::Proceed { round: round as u32 }));
+            if let Err(e) = ok {
+                self.abort_all(&format!("barrier for round {round} failed: {e}"));
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Collect the end-of-job `Summary` from every worker (spawned mode),
+    /// in worker-id order.
+    ///
+    /// # Errors
+    ///
+    /// Fails (after broadcasting `Abort`) on worker death or a non-summary
+    /// frame.
+    pub fn collect_summaries(&mut self) -> Result<Vec<WorkerSummary>> {
+        let mut out: Vec<Option<WorkerSummary>> = (0..self.workers.len()).map(|_| None).collect();
+        let mut missing = self.workers.len();
+        while missing > 0 {
+            for (id, slot) in out.iter_mut().enumerate() {
+                if slot.is_some() {
+                    continue;
+                }
+                match self.poll_frame(id) {
+                    Ok(None) => {}
+                    Ok(Some(Frame::Summary { output, per_round_bytes, per_round_tuples })) => {
+                        *slot = Some(WorkerSummary { output, per_round_bytes, per_round_tuples });
+                        missing -= 1;
+                    }
+                    Ok(Some(Frame::Abort { reason })) => {
+                        let e = NetError::Protocol(format!("worker {id} aborted: {reason}"));
+                        self.abort_all(&format!("{e}"));
+                        return Err(e);
+                    }
+                    Ok(Some(other)) => {
+                        let e = NetError::Protocol(format!(
+                            "worker {id}: expected Summary, got {other:?}"
+                        ));
+                        self.abort_all(&format!("{e}"));
+                        return Err(e);
+                    }
+                    Err(e) => {
+                        self.abort_all(&format!("{e}"));
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        Ok(out.into_iter().map(|s| s.expect("all summaries collected")).collect())
+    }
+
+    /// Release every worker for a clean exit (spawned mode).
+    pub fn shutdown_all(&mut self) {
+        let _ = self.broadcast(&Frame::Shutdown);
+    }
+
+    /// Best-effort fail-fast broadcast.
+    pub fn abort_all(&mut self, reason: &str) {
+        for w in &mut self.workers {
+            let _ = write_frame(w.reader.get_mut(), &Frame::Abort { reason: reason.to_string() });
+        }
+    }
+
+    fn broadcast(&mut self, frame: &Frame) -> Result<()> {
+        for w in &mut self.workers {
+            write_frame(w.reader.get_mut(), frame)?;
+        }
+        Ok(())
+    }
+
+    /// Wait until every worker sent a frame matching `expect`; any other
+    /// frame, an abort or a dead socket fails the wait.
+    fn await_all(&mut self, expect: impl Fn(&Frame) -> bool, what: &str) -> Result<()> {
+        let mut seen = vec![false; self.workers.len()];
+        let mut missing = self.workers.len();
+        while missing > 0 {
+            for (id, done) in seen.iter_mut().enumerate() {
+                if *done {
+                    continue;
+                }
+                match self.poll_frame(id)? {
+                    None => {}
+                    Some(f) if expect(&f) => {
+                        *done = true;
+                        missing -= 1;
+                    }
+                    Some(Frame::Abort { reason }) => {
+                        return Err(NetError::Protocol(format!("worker {id} aborted: {reason}")));
+                    }
+                    Some(other) => {
+                        return Err(NetError::Protocol(format!(
+                            "worker {id}: expected {what}, got {other:?}"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Try to read one frame from worker `id` within the poll interval.
+    /// `Ok(None)` means nothing arrived yet; a closed socket is an error —
+    /// that is the fail-fast-on-worker-death path.
+    fn poll_frame(&mut self, id: usize) -> Result<Option<Frame>> {
+        let w = &mut self.workers[id];
+        w.reader.get_ref().set_read_timeout(Some(POLL))?;
+        let available = match w.reader.fill_buf() {
+            Ok(buf) => !buf.is_empty(),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                false
+            }
+            Err(e) => {
+                w.reader.get_ref().set_read_timeout(None).ok();
+                return Err(e.into());
+            }
+        };
+        w.reader.get_ref().set_read_timeout(None)?;
+        if !available {
+            return Ok(None);
+        }
+        match read_frame(&mut w.reader, &self.pool) {
+            Ok(f) => Ok(Some(f)),
+            Err(NetError::Io(e)) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                Err(NetError::Protocol(format!("worker {id} died (control connection closed)")))
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Run `job` on a cluster of `job.p` spawned worker processes
+/// (`worker_bin --master ADDR --worker ID`) coordinated over localhost,
+/// and return the same [`RunResult`] as [`mpc_sim::Cluster::run`] on the
+/// equivalent single-process cluster.
+///
+/// Children are killed (and always reaped) when anything fails.
+///
+/// # Errors
+///
+/// Fails on spawn errors, worker death, protocol violations and — under
+/// the cluster's overload policy — budget violations.
+pub fn run_spawned(job: &JobSpec, worker_bin: &Path) -> Result<RunResult> {
+    let built = job.build()?;
+    let total_rounds = built.program.num_rounds();
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let mut children: Vec<Child> = Vec::with_capacity(job.p);
+
+    let outcome = (|| -> Result<Vec<WorkerSummary>> {
+        for id in 0..job.p {
+            let child = Command::new(worker_bin)
+                .arg("--master")
+                .arg(addr.to_string())
+                .arg("--worker")
+                .arg(id.to_string())
+                .stdin(std::process::Stdio::null())
+                .spawn()?;
+            children.push(child);
+        }
+        let wire = job.to_wire();
+        let mut plane = {
+            // A worker process exiting before it dials in would otherwise
+            // only surface at the accept deadline.
+            let mut dead_child = || {
+                for (id, c) in children.iter_mut().enumerate() {
+                    if let Ok(Some(status)) = c.try_wait() {
+                        return Some(format!("worker {id} exited during handshake ({status})"));
+                    }
+                }
+                None
+            };
+            ControlPlane::accept(&listener, job.p, Some(&wire), Some(&mut dead_child))?
+        };
+        plane.serve_barriers(total_rounds)?;
+        let summaries = plane.collect_summaries()?;
+        plane.shutdown_all();
+        Ok(summaries)
+    })();
+
+    if outcome.is_err() {
+        for c in &mut children {
+            let _ = c.kill();
+        }
+    }
+    for c in &mut children {
+        let _ = c.wait();
+    }
+    let summaries = outcome?;
+    assemble_result(&built.cluster, built.program.as_ref(), built.db.total_bytes(), summaries)
+}
+
+/// The worker-process entry point behind `mpc_workerd`: dial the master,
+/// receive the job, rebuild program and database from the spec, run the
+/// worker loop over TCP, report the summary and wait for shutdown.
+///
+/// # Errors
+///
+/// Fails on protocol violations, job build errors and program errors; a
+/// failure aborts the rest of the cluster before returning.
+pub fn worker_main(master_addr: &str, worker_id: usize) -> Result<()> {
+    let (mut transport, job) =
+        tcp_worker_setup(worker_id, None, master_addr, SPAWNED_QUEUE_CAPACITY)?;
+    let run = (|| -> Result<WorkerSummary> {
+        let wire =
+            job.ok_or_else(|| NetError::Protocol("spawned worker received no job".to_string()))?;
+        let spec = JobSpec::from_wire(&wire)?;
+        if spec.p != transport.parties() {
+            return Err(NetError::Protocol(format!(
+                "job says p = {}, peer table says {}",
+                spec.p,
+                transport.parties()
+            )));
+        }
+        let built = spec.build()?;
+        let pool = Arc::new(BlockPool::new());
+        worker_loop(
+            &mut transport,
+            built.program.as_ref(),
+            &built.db,
+            worker_id,
+            spec.p,
+            spec.block_capacity,
+            pool,
+        )
+    })();
+    match run {
+        Ok(summary) => {
+            transport.send_control(&Frame::Summary {
+                output: summary.output,
+                per_round_bytes: summary.per_round_bytes,
+                per_round_tuples: summary.per_round_tuples,
+            })?;
+            // Keep data sockets open until the master confirms every
+            // worker drained; only then tear down.
+            match transport.read_control()? {
+                Frame::Shutdown => {}
+                Frame::Abort { reason } => {
+                    use crate::transport::Transport as _;
+                    transport.abort();
+                    return Err(NetError::Protocol(format!("master aborted: {reason}")));
+                }
+                other => {
+                    return Err(NetError::Protocol(format!("expected Shutdown, got {other:?}")));
+                }
+            }
+            transport.shutdown();
+            Ok(())
+        }
+        Err(e) => {
+            use crate::transport::Transport as _;
+            transport.abort();
+            Err(e)
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! Self-contained job descriptions for spawned workers.
+//!
+//! A spawned worker process shares no memory with the master, so a
+//! [`JobSpec`] must carry everything needed to rebuild the job
+//! deterministically on the other side: the query (as re-parseable text —
+//! [`mpc_cq::Query`]'s display form), the database generator and its
+//! seed, the program family and its parameters, and the cluster shape.
+//! Both sides building from the same spec are guaranteed the same
+//! program, the same database and therefore the same routing — the
+//! property the spawned-mode differential smoke asserts.
+//!
+//! The wire form is deliberately primitive: one `key=value` pair per
+//! line. (The workspace's offline `serde` shim serialises but does not
+//! deserialise, so the format is hand-rolled; it is also trivially
+//! greppable in logs.)
+
+use mpc_cq::parser::parse_query;
+use mpc_cq::Query;
+use mpc_lp::Rational;
+use mpc_sim::{Cluster, MpcConfig, MpcProgram};
+use mpc_storage::Database;
+
+use crate::{NetError, Result};
+
+/// Which program family executes the query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProgramSpec {
+    /// Naive broadcast-everything baseline.
+    Broadcast,
+    /// One-round HyperCube at the optimal share allocation.
+    HyperCube,
+    /// The multi-round `Γ^r_ε` plan executor at the given space exponent.
+    MultiRound {
+        /// The plan's space exponent ε as an exact rational.
+        plan_epsilon: Rational,
+    },
+    /// The skew-resilient one-round program (heavy hitters + residual
+    /// plans, planned against the reconstructed database).
+    SkewResilient {
+        /// Heavy-hitter detection threshold multiplier.
+        scale: f64,
+    },
+}
+
+/// How the input database is (re)generated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbSpec {
+    /// [`mpc_data::matching_database`]: every relation a random matching.
+    Matching {
+        /// Domain size / tuples per relation.
+        n: u64,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// [`mpc_data::skew::zipf_database`]: Zipf-skewed binary relations.
+    Zipf {
+        /// Domain size.
+        n: u64,
+        /// Tuples per relation.
+        tuples: usize,
+        /// Zipf exponent θ.
+        theta: f64,
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+/// Everything a worker process needs to run its share of one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// The program family.
+    pub program: ProgramSpec,
+    /// The query, in `mpc_cq` parseable text form.
+    pub query: String,
+    /// The database generator.
+    pub db: DbSpec,
+    /// Number of worker servers.
+    pub p: usize,
+    /// The cluster's space exponent ε (budget accounting).
+    pub epsilon: f64,
+    /// Routing seed shared by all workers.
+    pub seed: u64,
+    /// Per-link lane capacity for the workers' inboxes.
+    pub queue_capacity: usize,
+    /// Tuples per columnar block.
+    pub block_capacity: usize,
+}
+
+/// A job rebuilt from its spec: the program, its input and the cluster.
+pub struct BuiltJob {
+    /// The executable program.
+    pub program: Box<dyn MpcProgram + Send + Sync>,
+    /// The deterministically regenerated database.
+    pub db: Database,
+    /// The cluster (budget accounting shape).
+    pub cluster: Cluster,
+    /// The parsed query.
+    pub query: Query,
+}
+
+fn parse_rational(s: &str) -> Result<Rational> {
+    let bad = || NetError::Protocol(format!("bad rational {s:?}"));
+    match s.split_once('/') {
+        Some((n, d)) => {
+            let n: i128 = n.trim().parse().map_err(|_| bad())?;
+            let d: i128 = d.trim().parse().map_err(|_| bad())?;
+            if d == 0 {
+                return Err(bad());
+            }
+            Ok(Rational::new(n, d))
+        }
+        None => {
+            let n: i128 = s.trim().parse().map_err(|_| bad())?;
+            Ok(Rational::new(n, 1))
+        }
+    }
+}
+
+impl JobSpec {
+    /// Serialise to the `key=value` wire form carried by
+    /// [`crate::Frame::Job`].
+    pub fn to_wire(&self) -> String {
+        let mut out = String::new();
+        let (prog, prog_arg) = match &self.program {
+            ProgramSpec::Broadcast => ("broadcast".to_string(), None),
+            ProgramSpec::HyperCube => ("hypercube".to_string(), None),
+            ProgramSpec::MultiRound { plan_epsilon } => {
+                ("multiround".to_string(), Some(format!("plan_epsilon={plan_epsilon}")))
+            }
+            ProgramSpec::SkewResilient { scale } => {
+                ("skew".to_string(), Some(format!("scale={scale}")))
+            }
+        };
+        out.push_str(&format!("program={prog}\n"));
+        if let Some(arg) = prog_arg {
+            out.push_str(&format!("{arg}\n"));
+        }
+        out.push_str(&format!("query={}\n", self.query));
+        match &self.db {
+            DbSpec::Matching { n, seed } => {
+                out.push_str(&format!("db=matching\nn={n}\ndb_seed={seed}\n"));
+            }
+            DbSpec::Zipf { n, tuples, theta, seed } => {
+                out.push_str(&format!(
+                    "db=zipf\nn={n}\ntuples={tuples}\ntheta={theta}\ndb_seed={seed}\n"
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "p={}\nepsilon={}\nseed={}\nqueue_capacity={}\nblock_capacity={}\n",
+            self.p, self.epsilon, self.seed, self.queue_capacity, self.block_capacity
+        ));
+        out
+    }
+
+    /// Parse the wire form back.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown keys' absence, malformed numbers or unknown
+    /// program/database kinds.
+    pub fn from_wire(wire: &str) -> Result<Self> {
+        let mut kv = std::collections::BTreeMap::new();
+        for line in wire.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let Some((k, v)) = line.split_once('=') else {
+                return Err(NetError::Protocol(format!("job spec line without '=': {line:?}")));
+            };
+            kv.insert(k.trim().to_string(), v.to_string());
+        }
+        let get = |k: &str| {
+            kv.get(k).cloned().ok_or_else(|| NetError::Protocol(format!("job spec missing {k}")))
+        };
+        let num = |k: &str| -> Result<u64> {
+            get(k)?.trim().parse().map_err(|_| NetError::Protocol(format!("bad number for {k}")))
+        };
+        let fnum = |k: &str| -> Result<f64> {
+            get(k)?.trim().parse().map_err(|_| NetError::Protocol(format!("bad float for {k}")))
+        };
+        let program = match get("program")?.as_str() {
+            "broadcast" => ProgramSpec::Broadcast,
+            "hypercube" => ProgramSpec::HyperCube,
+            "multiround" => {
+                ProgramSpec::MultiRound { plan_epsilon: parse_rational(&get("plan_epsilon")?)? }
+            }
+            "skew" => ProgramSpec::SkewResilient { scale: fnum("scale")? },
+            other => return Err(NetError::Protocol(format!("unknown program kind {other:?}"))),
+        };
+        let db = match get("db")?.as_str() {
+            "matching" => DbSpec::Matching { n: num("n")?, seed: num("db_seed")? },
+            "zipf" => DbSpec::Zipf {
+                n: num("n")?,
+                tuples: num("tuples")? as usize,
+                theta: fnum("theta")?,
+                seed: num("db_seed")?,
+            },
+            other => return Err(NetError::Protocol(format!("unknown db kind {other:?}"))),
+        };
+        Ok(JobSpec {
+            program,
+            query: get("query")?,
+            db,
+            p: num("p")? as usize,
+            epsilon: fnum("epsilon")?,
+            seed: num("seed")?,
+            queue_capacity: num("queue_capacity")? as usize,
+            block_capacity: num("block_capacity")? as usize,
+        })
+    }
+
+    /// Rebuild the executable job: parse the query, regenerate the
+    /// database and construct the program. Deterministic — every process
+    /// building from the same spec gets identical routing.
+    ///
+    /// # Errors
+    ///
+    /// Fails on parse errors, invalid cluster configuration and program
+    /// construction errors.
+    pub fn build(&self) -> Result<BuiltJob> {
+        let query =
+            parse_query(&self.query).map_err(|e| NetError::Protocol(format!("job query: {e}")))?;
+        let db = match &self.db {
+            DbSpec::Matching { n, seed } => mpc_data::matching_database(&query, *n, *seed),
+            DbSpec::Zipf { n, tuples, theta, seed } => {
+                mpc_data::skew::zipf_database(&query, *n, *tuples, *theta, *seed)
+            }
+        };
+        let cluster = Cluster::new(MpcConfig::new(self.p, self.epsilon)).map_err(NetError::Sim)?;
+        let program: Box<dyn MpcProgram + Send + Sync> = match &self.program {
+            ProgramSpec::Broadcast => {
+                Box::new(mpc_sim::program::BroadcastProgram::new(query.clone()))
+            }
+            ProgramSpec::HyperCube => Box::new(
+                mpc_core::hypercube::HyperCubeProgram::new(&query, self.p, self.seed)
+                    .map_err(|e| NetError::Protocol(format!("hypercube: {e}")))?,
+            ),
+            ProgramSpec::MultiRound { plan_epsilon } => {
+                let plan =
+                    mpc_core::multiround::planner::MultiRoundPlan::build(&query, *plan_epsilon)
+                        .map_err(|e| NetError::Protocol(format!("plan: {e}")))?;
+                Box::new(
+                    mpc_core::multiround::executor::PlanProgram::new(&plan, self.p, self.seed)
+                        .map_err(|e| NetError::Protocol(format!("plan program: {e}")))?,
+                )
+            }
+            ProgramSpec::SkewResilient { scale } => Box::new(
+                mpc_skew::SkewResilientProgram::new(
+                    &query,
+                    &db,
+                    self.p,
+                    &mpc_skew::HeavyHitterPolicy { scale: *scale },
+                    self.seed,
+                )
+                .map_err(|e| NetError::Protocol(format!("skew program: {e}")))?,
+            ),
+        };
+        Ok(BuiltJob { program, db, cluster, query })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_cq::families;
+
+    fn spec(program: ProgramSpec) -> JobSpec {
+        JobSpec {
+            program,
+            query: families::triangle().to_string(),
+            db: DbSpec::Matching { n: 500, seed: 11 },
+            p: 8,
+            epsilon: 0.5,
+            seed: 42,
+            queue_capacity: 64,
+            block_capacity: 128,
+        }
+    }
+
+    #[test]
+    fn wire_round_trips_every_program_kind() {
+        for program in [
+            ProgramSpec::Broadcast,
+            ProgramSpec::HyperCube,
+            ProgramSpec::MultiRound { plan_epsilon: Rational::new(1, 3) },
+            ProgramSpec::SkewResilient { scale: 1.0 },
+        ] {
+            let s = spec(program);
+            let back = JobSpec::from_wire(&s.to_wire()).unwrap();
+            assert_eq!(s, back, "wire form round-trips");
+        }
+    }
+
+    #[test]
+    fn zipf_db_round_trips() {
+        let mut s = spec(ProgramSpec::HyperCube);
+        s.db = DbSpec::Zipf { n: 300, tuples: 600, theta: 0.8, seed: 3 };
+        let back = JobSpec::from_wire(&s.to_wire()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn query_text_survives_the_wire() {
+        let s = spec(ProgramSpec::HyperCube);
+        let built = JobSpec::from_wire(&s.to_wire()).unwrap().build().unwrap();
+        assert_eq!(built.query.to_string(), families::triangle().to_string());
+        assert_eq!(built.db.relations().count(), 3);
+        assert_eq!(built.program.num_rounds(), 1);
+    }
+
+    #[test]
+    fn build_is_deterministic_across_processes_in_spirit() {
+        // Two independent builds (as two processes would do) must agree on
+        // the database bytes and program shape.
+        let s = spec(ProgramSpec::MultiRound { plan_epsilon: Rational::ZERO });
+        let a = s.build().unwrap();
+        let b = s.build().unwrap();
+        assert_eq!(a.db.total_bytes(), b.db.total_bytes());
+        assert_eq!(a.program.num_rounds(), b.program.num_rounds());
+        for (ra, rb) in a.db.relations().zip(b.db.relations()) {
+            assert!(ra.same_tuples(rb), "regenerated relations identical");
+        }
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        assert!(JobSpec::from_wire("program=warp\nquery=q() :- R(x)").is_err());
+        assert!(JobSpec::from_wire("no equals sign").is_err());
+        assert!(JobSpec::from_wire("program=hypercube\n").is_err(), "missing keys");
+        assert!(parse_rational("1/0").is_err());
+        assert_eq!(parse_rational("2/3").unwrap(), Rational::new(2, 3));
+        assert_eq!(parse_rational("0").unwrap(), Rational::ZERO);
+    }
+}

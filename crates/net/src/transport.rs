@@ -1,0 +1,509 @@
+//! The [`Transport`] abstraction: how a worker's packets reach its peers.
+//!
+//! Two implementations ship:
+//!
+//! * [`InProcTransport`] wraps the bounded per-link lanes of
+//!   [`mpc_sim::queue`] — the exact channels of the event-driven backend —
+//!   plus a shared fail-fast round barrier. It exists so the differential
+//!   layer can prove that swapping the transport (rather than the
+//!   protocol) never changes semantics.
+//! * [`TcpTransport`] moves the same packets as length-prefixed frames
+//!   ([`crate::frame`]) over one TCP stream per peer, with a reader
+//!   thread per inbound connection decoding frames into the worker's
+//!   inbox. The round barrier rides on the worker's control connection to
+//!   the master (`Ready`/`Proceed`).
+//!
+//! **Backpressure note.** The in-process lanes bound their capacity and
+//! report `Full`, mirroring the async backend. TCP inboxes are fed by
+//! reader threads via `force_send` — the kernel's socket buffers provide
+//! the real backpressure there, and bounding the inbox as well could
+//! deadlock the single reader thread behind a stalled worker. The volume
+//! accounting is identical either way.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use mpc_sim::queue::{InboxReceiver, LinkSender, SendAttempt};
+use mpc_sim::{BlockPool, TupleBlock};
+
+use crate::frame::{read_frame, write_frame, Frame};
+use crate::{NetError, Result};
+
+/// A packet between workers — the network mirror of the async backend's
+/// private packet type.
+#[derive(Debug)]
+pub enum NetPacket {
+    /// A sealed columnar batch.
+    Block(TupleBlock),
+    /// All blocks of `round` from this sender are out.
+    Fin {
+        /// The finished round (1-based).
+        round: usize,
+    },
+    /// A peer failed; unwind.
+    Abort,
+}
+
+/// Outcome of a non-blocking transport send.
+#[derive(Debug)]
+pub enum SendOutcome {
+    /// The packet is on its way.
+    Sent,
+    /// The link is backpressured; the packet is handed back so the caller
+    /// can drain its own inbox and retry.
+    Full(NetPacket),
+    /// The peer is gone.
+    Closed,
+}
+
+/// One worker's view of the cluster fabric.
+pub trait Transport {
+    /// Attempt to send `pkt` to server `dest` without blocking forever:
+    /// back off at most a poll interval when the link is full.
+    fn send(&mut self, dest: usize, pkt: NetPacket) -> SendOutcome;
+
+    /// Block until at least one packet is available, appending every
+    /// pending packet to `buf`; returns how many arrived.
+    ///
+    /// # Errors
+    ///
+    /// Fails when every peer is gone and nothing is pending.
+    fn recv(&mut self, buf: &mut Vec<NetPacket>) -> Result<usize>;
+
+    /// Drain whatever is pending without blocking.
+    fn try_recv(&mut self, buf: &mut Vec<NetPacket>) -> usize;
+
+    /// The per-round barrier: signal this worker finished `round` and
+    /// block until every worker has.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the job aborted (a worker died or the master is gone).
+    fn barrier(&mut self, round: usize) -> Result<()>;
+
+    /// Broadcast a fail-fast abort to everyone reachable.
+    fn abort(&mut self);
+}
+
+/// A shared fail-fast round barrier for in-process workers: generation
+/// counting over a mutex/condvar, poisoned permanently by the first
+/// abort so no waiter can hang on a dead cluster.
+#[derive(Debug)]
+pub struct FailFastBarrier {
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+struct BarrierState {
+    parties: usize,
+    arrived: usize,
+    generation: u64,
+    poisoned: bool,
+}
+
+impl FailFastBarrier {
+    /// A barrier over `parties` workers.
+    pub fn new(parties: usize) -> Self {
+        FailFastBarrier {
+            state: Mutex::new(BarrierState {
+                parties: parties.max(1),
+                arrived: 0,
+                generation: 0,
+                poisoned: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Wait for all parties.
+    ///
+    /// # Errors
+    ///
+    /// Fails immediately (for every current and future waiter) once the
+    /// barrier is poisoned.
+    pub fn wait(&self) -> Result<()> {
+        let mut s = self.state.lock().expect("barrier mutex poisoned");
+        if s.poisoned {
+            return Err(NetError::Protocol("barrier poisoned: a worker aborted".to_string()));
+        }
+        s.arrived += 1;
+        if s.arrived == s.parties {
+            s.arrived = 0;
+            s.generation += 1;
+            self.cv.notify_all();
+            return Ok(());
+        }
+        let gen = s.generation;
+        while s.generation == gen && !s.poisoned {
+            s = self.cv.wait(s).expect("barrier mutex poisoned");
+        }
+        if s.poisoned {
+            return Err(NetError::Protocol("barrier poisoned: a worker aborted".to_string()));
+        }
+        Ok(())
+    }
+
+    /// Poison the barrier: every current and future waiter errors out.
+    pub fn poison(&self) {
+        let mut s = self.state.lock().expect("barrier mutex poisoned");
+        s.poisoned = true;
+        self.cv.notify_all();
+    }
+}
+
+/// How long a full in-process link parks before handing the packet back.
+const POLL: Duration = Duration::from_micros(200);
+
+/// The channel transport: per-peer bounded lanes plus a shared fail-fast
+/// barrier, all inside one process.
+#[derive(Debug)]
+pub struct InProcTransport {
+    /// `peers[dest]` is this worker's lane into `dest`'s inbox.
+    peers: Vec<LinkSender<NetPacket>>,
+    rx: InboxReceiver<NetPacket>,
+    barrier: Arc<FailFastBarrier>,
+}
+
+impl InProcTransport {
+    /// Assemble a worker's transport from its lanes, inbox and the shared
+    /// barrier.
+    pub fn new(
+        peers: Vec<LinkSender<NetPacket>>,
+        rx: InboxReceiver<NetPacket>,
+        barrier: Arc<FailFastBarrier>,
+    ) -> Self {
+        InProcTransport { peers, rx, barrier }
+    }
+}
+
+impl Transport for InProcTransport {
+    fn send(&mut self, dest: usize, pkt: NetPacket) -> SendOutcome {
+        match self.peers[dest].send_timeout(pkt, POLL) {
+            SendAttempt::Sent => SendOutcome::Sent,
+            SendAttempt::Full(p) => SendOutcome::Full(p),
+            SendAttempt::Closed(_) => SendOutcome::Closed,
+        }
+    }
+
+    fn recv(&mut self, buf: &mut Vec<NetPacket>) -> Result<usize> {
+        Ok(self.rx.recv_many(buf))
+    }
+
+    fn try_recv(&mut self, buf: &mut Vec<NetPacket>) -> usize {
+        self.rx.try_recv_many(buf)
+    }
+
+    fn barrier(&mut self, _round: usize) -> Result<()> {
+        self.barrier.wait()
+    }
+
+    fn abort(&mut self) {
+        self.barrier.poison();
+        for peer in &self.peers {
+            let _ = peer.force_send(NetPacket::Abort);
+        }
+    }
+}
+
+/// The socket transport: one outbound TCP stream per peer, reader threads
+/// feeding the inbox, and a control stream to the master for barriers.
+pub struct TcpTransport {
+    id: usize,
+    /// `writers[dest]` is the framed stream into `dest` (`None` at
+    /// `dest == id`; self-sends never reach the transport).
+    writers: Vec<Option<BufWriter<TcpStream>>>,
+    rx: InboxReceiver<NetPacket>,
+    /// Reader-thread handles, joined by [`TcpTransport::shutdown`].
+    readers: Vec<std::thread::JoinHandle<()>>,
+    control: BufReader<TcpStream>,
+    aborted: Arc<AtomicBool>,
+    scratch: Vec<u8>,
+}
+
+impl std::fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpTransport").field("id", &self.id).finish_non_exhaustive()
+    }
+}
+
+/// Pump one inbound data connection: decode frames, push packets into the
+/// owning worker's inbox. Exits on EOF, socket error or receiver drop.
+fn pump_reader(
+    stream: TcpStream,
+    lane: LinkSender<NetPacket>,
+    pool: Arc<BlockPool>,
+    aborted: Arc<AtomicBool>,
+) {
+    let mut r = BufReader::new(stream);
+    loop {
+        match read_frame(&mut r, &pool) {
+            Ok(Frame::Block(b)) => {
+                if lane.force_send(NetPacket::Block(b)).is_err() {
+                    return;
+                }
+            }
+            Ok(Frame::Fin { round }) => {
+                if lane.force_send(NetPacket::Fin { round: round as usize }).is_err() {
+                    return;
+                }
+            }
+            Ok(Frame::Abort { .. }) => {
+                aborted.store(true, Ordering::SeqCst);
+                let _ = lane.force_send(NetPacket::Abort);
+                return;
+            }
+            Ok(_) => {
+                // A data socket carries only blocks, FINs and aborts.
+                aborted.store(true, Ordering::SeqCst);
+                let _ = lane.force_send(NetPacket::Abort);
+                return;
+            }
+            Err(NetError::Io(e)) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                // Clean close after the peer finished sending.
+                return;
+            }
+            Err(_) => {
+                // A dead or corrupt peer: fail the local worker fast.
+                aborted.store(true, Ordering::SeqCst);
+                let _ = lane.force_send(NetPacket::Abort);
+                return;
+            }
+        }
+    }
+}
+
+impl TcpTransport {
+    /// Assemble worker `id`'s transport.
+    ///
+    /// * `outbound[dest]` — a connected data stream to each peer
+    ///   (`None` at `dest == id`).
+    /// * `inbound` — accepted data streams, each paired with the sending
+    ///   server's id (from its `DataHello`).
+    /// * `control` — the stream to the master, used for `Ready`/`Proceed`
+    ///   barriers.
+    pub fn new(
+        id: usize,
+        p: usize,
+        outbound: Vec<Option<TcpStream>>,
+        inbound: Vec<(usize, TcpStream)>,
+        control: TcpStream,
+        pool: Arc<BlockPool>,
+        queue_capacity: usize,
+    ) -> Result<Self> {
+        let (senders, rx) = mpc_sim::queue::Inbox::channel(p, queue_capacity);
+        let aborted = Arc::new(AtomicBool::new(false));
+        let mut readers = Vec::with_capacity(inbound.len());
+        for (from, stream) in inbound {
+            if from >= p {
+                return Err(NetError::Protocol(format!("data hello from bad peer {from}")));
+            }
+            let lane = senders[from].clone();
+            let pool = Arc::clone(&pool);
+            let aborted = Arc::clone(&aborted);
+            readers.push(std::thread::spawn(move || pump_reader(stream, lane, pool, aborted)));
+        }
+        let writers = outbound
+            .into_iter()
+            .map(|s| {
+                s.map(|s| {
+                    s.set_nodelay(true).ok();
+                    BufWriter::new(s)
+                })
+            })
+            .collect();
+        Ok(TcpTransport {
+            id,
+            writers,
+            rx,
+            readers,
+            control: BufReader::new(control),
+            aborted,
+            scratch: Vec::new(),
+        })
+    }
+
+    fn write_to(&mut self, dest: usize, frame: &Frame) -> Result<()> {
+        let Some(w) = self.writers.get_mut(dest).and_then(|w| w.as_mut()) else {
+            return Err(NetError::Protocol(format!("no data stream to peer {dest}")));
+        };
+        crate::frame::encode_frame(frame, &mut self.scratch);
+        w.write_all(&self.scratch)?;
+        Ok(())
+    }
+
+    /// Flush every outbound data stream (called at FIN boundaries).
+    fn flush_all(&mut self) -> Result<()> {
+        for w in self.writers.iter_mut().flatten() {
+            w.flush()?;
+        }
+        Ok(())
+    }
+
+    /// The cluster size this transport was meshed for.
+    pub fn parties(&self) -> usize {
+        self.writers.len()
+    }
+
+    /// Send a frame to the master over the control stream (used by the
+    /// spawned worker for its end-of-job `Summary`).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the master is gone.
+    pub fn send_control(&mut self, frame: &Frame) -> Result<()> {
+        crate::frame::encode_frame(frame, &mut self.scratch);
+        self.control.get_mut().write_all(&self.scratch)?;
+        self.control.get_mut().flush()?;
+        Ok(())
+    }
+
+    /// Read one frame from the master's control stream (used by the
+    /// spawned worker to await its `Shutdown`).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the master is gone or sends garbage.
+    pub fn read_control(&mut self) -> Result<Frame> {
+        let pool = BlockPool::new();
+        read_frame(&mut self.control, &pool)
+    }
+
+    /// Close outbound data streams and join the reader threads — the
+    /// clean end-of-job teardown.
+    ///
+    /// Each peer pair shares one full-duplex socket (the writer is a
+    /// `try_clone` of the reader), so merely dropping the writer clone
+    /// would never send a FIN; the peer's reader would block forever. An
+    /// explicit write-half shutdown delivers the EOF.
+    pub fn shutdown(mut self) {
+        for w in &mut self.writers {
+            if let Some(writer) = w {
+                let _ = writer.flush();
+                let _ = writer.get_ref().shutdown(std::net::Shutdown::Write);
+            }
+            *w = None;
+        }
+        for h in self.readers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, dest: usize, pkt: NetPacket) -> SendOutcome {
+        if self.aborted.load(Ordering::SeqCst) {
+            return SendOutcome::Closed;
+        }
+        let frame = match pkt {
+            NetPacket::Block(b) => Frame::Block(b),
+            NetPacket::Fin { round } => Frame::Fin { round: round as u32 },
+            NetPacket::Abort => Frame::Abort { reason: format!("worker {} aborted", self.id) },
+        };
+        match self.write_to(dest, &frame) {
+            Ok(()) => {
+                // FINs mark the end of a burst: push everything out so the
+                // peer's round can complete without waiting on our buffer.
+                if matches!(frame, Frame::Fin { .. } | Frame::Abort { .. })
+                    && self.flush_all().is_err()
+                {
+                    return SendOutcome::Closed;
+                }
+                SendOutcome::Sent
+            }
+            Err(_) => SendOutcome::Closed,
+        }
+    }
+
+    fn recv(&mut self, buf: &mut Vec<NetPacket>) -> Result<usize> {
+        Ok(self.rx.recv_many(buf))
+    }
+
+    fn try_recv(&mut self, buf: &mut Vec<NetPacket>) -> usize {
+        self.rx.try_recv_many(buf)
+    }
+
+    fn barrier(&mut self, round: usize) -> Result<()> {
+        if self.aborted.load(Ordering::SeqCst) {
+            return Err(NetError::Protocol("job aborted".to_string()));
+        }
+        // Data must be flushed before declaring the round done.
+        self.flush_all()?;
+        write_frame(self.control.get_mut(), &Frame::Ready { round: round as u32 })?;
+        self.control.get_mut().flush()?;
+        let pool = BlockPool::new();
+        match read_frame(&mut self.control, &pool)? {
+            Frame::Proceed { round: r } if r as usize == round => Ok(()),
+            Frame::Proceed { round: r } => Err(NetError::Protocol(format!(
+                "barrier skew: waiting on round {round}, master proceeded {r}"
+            ))),
+            Frame::Abort { reason } => {
+                self.aborted.store(true, Ordering::SeqCst);
+                Err(NetError::Protocol(format!("master aborted: {reason}")))
+            }
+            other => {
+                Err(NetError::Protocol(format!("unexpected control frame at barrier: {other:?}")))
+            }
+        }
+    }
+
+    fn abort(&mut self) {
+        self.aborted.store(true, Ordering::SeqCst);
+        for dest in 0..self.writers.len() {
+            if self.writers[dest].is_some() {
+                let _ = self.write_to(
+                    dest,
+                    &Frame::Abort { reason: format!("worker {} aborted", self.id) },
+                );
+            }
+        }
+        let _ = self.flush_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fail_fast_barrier_synchronises_and_poisons() {
+        let barrier = Arc::new(FailFastBarrier::new(3));
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let b = Arc::clone(&barrier);
+                scope.spawn(move || b.wait().unwrap());
+            }
+        });
+        // Round 2: one party aborts while another waits.
+        let b2 = Arc::clone(&barrier);
+        let waiter = std::thread::spawn(move || b2.wait());
+        std::thread::sleep(Duration::from_millis(10));
+        barrier.poison();
+        assert!(waiter.join().unwrap().is_err(), "poison releases the waiter with an error");
+        assert!(barrier.wait().is_err(), "the poison is permanent");
+    }
+
+    #[test]
+    fn in_proc_transport_moves_packets_and_reports_full() {
+        let (senders_a, rx_a) = mpc_sim::queue::Inbox::channel(2, 1);
+        let (_senders_b, rx_b) = mpc_sim::queue::Inbox::channel(2, 1);
+        let barrier = Arc::new(FailFastBarrier::new(1));
+        // Worker 1's view: its lane into worker 0's inbox is lane 1.
+        let mut t1 = InProcTransport::new(
+            vec![senders_a[1].clone(), senders_a[1].clone()],
+            rx_b,
+            Arc::clone(&barrier),
+        );
+        assert!(matches!(t1.send(0, NetPacket::Fin { round: 1 }), SendOutcome::Sent));
+        // Lane capacity is 1: the second send backs off with Full.
+        assert!(matches!(t1.send(0, NetPacket::Fin { round: 1 }), SendOutcome::Full(_)));
+        let mut got = Vec::new();
+        let mut t0 = InProcTransport::new(vec![], rx_a, Arc::new(FailFastBarrier::new(1)));
+        assert_eq!(t0.recv(&mut got).unwrap(), 1);
+        assert!(matches!(got[0], NetPacket::Fin { round: 1 }));
+        assert!(t1.barrier(1).is_ok(), "single-party barrier trivially passes");
+    }
+}

@@ -1,0 +1,141 @@
+//! The multi-query service under real concurrency: many queries in
+//! flight over one shared cluster, every outcome identical to a
+//! dedicated [`Cluster::run`], and the LP cache serving repeated
+//! templates hot.
+
+use std::sync::Arc;
+
+use mpc_core::hypercube::HyperCubeProgram;
+use mpc_cq::families;
+use mpc_data::matching_database;
+use mpc_net::{QueryJob, QueryService, ServiceConfig};
+use mpc_sim::{Cluster, MpcConfig};
+use mpc_storage::Database;
+
+/// Six queries (four templates, two repeated) submitted before any
+/// outcome is drained: at least four genuinely concurrent executions
+/// multiplexed over `p = 4` shared reactors.
+#[test]
+fn six_concurrent_queries_multiplex_without_interference() {
+    let p = 4;
+    let jobs: Vec<(mpc_cq::Query, u64, u64)> = vec![
+        (families::triangle(), 500, 1),
+        (families::cycle(4), 400, 2),
+        (families::star(3), 350, 3),
+        (families::chain(3), 450, 4),
+        (families::triangle(), 500, 5),
+        (families::cycle(4), 400, 6),
+    ];
+    let dbs: Vec<Arc<Database>> =
+        jobs.iter().map(|(q, n, seed)| Arc::new(matching_database(q, *n, *seed))).collect();
+
+    let mut svc = QueryService::start(&ServiceConfig::new(p, 0.5)).unwrap();
+    let mut qids = Vec::new();
+    for ((q, _, seed), db) in jobs.iter().zip(&dbs) {
+        let qid = svc
+            .submit(&QueryJob {
+                query: q.clone(),
+                db: Arc::clone(db),
+                seed: *seed,
+                plan_epsilon: None,
+            })
+            .unwrap();
+        qids.push(qid);
+    }
+    assert_eq!(qids.len(), 6, "all six admitted while none had completed");
+
+    let mut outcomes = Vec::new();
+    for _ in 0..jobs.len() {
+        outcomes.push(svc.next_outcome().unwrap());
+    }
+    svc.shutdown().unwrap();
+    outcomes.sort_by_key(|o| o.qid);
+
+    for (i, ((q, _, seed), db)) in jobs.iter().zip(&dbs).enumerate() {
+        let cluster = Cluster::new(MpcConfig::new(p, 0.5)).unwrap();
+        let program = HyperCubeProgram::new(q, p, *seed).unwrap();
+        let reference = cluster.run(&program, db).unwrap();
+        let outcome = &outcomes[i];
+        assert_eq!(outcome.qid, qids[i]);
+        assert!(
+            outcome.output.same_tuples(&reference.output),
+            "query {i} ({}): output differs from a dedicated run",
+            q.name()
+        );
+        assert_eq!(outcome.rounds, reference.rounds, "query {i}: per-round statistics differ");
+        assert_eq!(outcome.per_server_output, reference.per_server_output, "query {i}");
+        assert!(outcome.latency_micros >= outcome.planning_micros.min(outcome.latency_micros));
+        assert!(outcome.admitted_cost > 0, "admission charged a real cost");
+    }
+}
+
+/// Repeated templates hit the LP cache: the first submission of a shape
+/// may solve an LP (the witness query has no closed form, so it goes
+/// through the simplex and lands in the cache), later ones must come
+/// back `cache-hit`.
+#[test]
+fn repeated_templates_are_cache_hot() {
+    let p = 2;
+    let q = families::witness_query();
+    let db = Arc::new(matching_database(&q, 200, 9));
+    let mut svc = QueryService::start(&ServiceConfig::new(p, 0.5)).unwrap();
+    let mut paths = Vec::new();
+    for seed in 0..3 {
+        svc.submit(&QueryJob { query: q.clone(), db: Arc::clone(&db), seed, plan_epsilon: None })
+            .unwrap();
+        let outcome = svc.next_outcome().unwrap();
+        paths.push((outcome.analysis_path.clone(), outcome.cache_hot));
+    }
+    svc.shutdown().unwrap();
+    // The global cache may already be warm from other tests in this
+    // process; what must hold is that repeats never get colder.
+    assert_eq!(paths[1].0, "cache-hit", "second submission served from the LP cache: {paths:?}");
+    assert_eq!(paths[2].0, "cache-hit", "third submission served from the LP cache: {paths:?}");
+    assert!(paths[1].1 && paths[2].1, "repeats are flagged cache-hot: {paths:?}");
+}
+
+/// A multi-round plan and a one-round query interleaved on the same
+/// reactors: round namespaces keep the FIN accounting per query.
+#[test]
+fn mixed_round_counts_interleave_cleanly() {
+    let p = 3;
+    let mr_q = families::chain(4);
+    let hc_q = families::triangle();
+    let mr_db = Arc::new(matching_database(&mr_q, 300, 21));
+    let hc_db = Arc::new(matching_database(&hc_q, 300, 22));
+
+    let mut svc = QueryService::start(&ServiceConfig::new(p, 0.0)).unwrap();
+    let a = svc
+        .submit(&QueryJob {
+            query: mr_q.clone(),
+            db: Arc::clone(&mr_db),
+            seed: 1,
+            plan_epsilon: Some(mpc_lp::Rational::ZERO),
+        })
+        .unwrap();
+    let b = svc
+        .submit(&QueryJob {
+            query: hc_q.clone(),
+            db: Arc::clone(&hc_db),
+            seed: 2,
+            plan_epsilon: None,
+        })
+        .unwrap();
+    let mut outcomes = [svc.next_outcome().unwrap(), svc.next_outcome().unwrap()];
+    svc.shutdown().unwrap();
+    outcomes.sort_by_key(|o| o.qid);
+
+    let cluster = Cluster::new(MpcConfig::new(p, 0.0)).unwrap();
+    let plan = mpc_core::multiround::planner::MultiRoundPlan::build(&mr_q, mpc_lp::Rational::ZERO)
+        .unwrap();
+    let mr_prog = mpc_core::multiround::executor::PlanProgram::new(&plan, p, 1).unwrap();
+    let mr_ref = cluster.run(&mr_prog, &mr_db).unwrap();
+    assert!(mr_ref.rounds.len() > 1, "the chain plan is genuinely multi-round");
+    let hc_prog = HyperCubeProgram::new(&hc_q, p, 2).unwrap();
+    let hc_ref = cluster.run(&hc_prog, &hc_db).unwrap();
+
+    assert!(outcomes[a as usize].output.same_tuples(&mr_ref.output), "multi-round output");
+    assert_eq!(outcomes[a as usize].rounds, mr_ref.rounds, "multi-round stats");
+    assert!(outcomes[b as usize].output.same_tuples(&hc_ref.output), "one-round output");
+    assert_eq!(outcomes[b as usize].rounds, hc_ref.rounds, "one-round stats");
+}

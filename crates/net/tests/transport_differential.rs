@@ -1,0 +1,90 @@
+//! The PR's acceptance differential: for every program family the
+//! workspace ships, the distributed runner must produce **identical
+//! outputs and identical per-round communication volumes** to the
+//! synchronous [`Cluster::run`] reference — over the in-process channel
+//! transport *and* over real localhost TCP sockets. Swapping the fabric
+//! can change schedules and packet boundaries, never semantics.
+
+use mpc_core::hypercube::HyperCubeProgram;
+use mpc_core::multiround::executor::PlanProgram;
+use mpc_core::multiround::planner::MultiRoundPlan;
+use mpc_cq::families;
+use mpc_data::matching_database;
+use mpc_data::skew::zipf_database;
+use mpc_lp::Rational;
+use mpc_net::{run_transport_differential, DistConfig, TransportKind};
+use mpc_sim::{Cluster, MpcConfig, MpcProgram};
+use mpc_skew::{HeavyHitterPolicy, SkewResilientProgram};
+use mpc_storage::Database;
+
+fn assert_transport_invariant<P: MpcProgram>(
+    label: &str,
+    program: &P,
+    db: &Database,
+    cfg: &MpcConfig,
+    dist: &DistConfig,
+) {
+    let cluster = Cluster::new(cfg.clone()).expect("valid config");
+    let diff = run_transport_differential(&cluster, program, db, dist)
+        .unwrap_or_else(|e| panic!("{label}: differential run failed: {e}"));
+    assert_eq!(diff.divergence(), None, "{label}: transports diverged");
+}
+
+#[test]
+fn hypercube_triangle_is_transport_independent() {
+    let q = families::triangle();
+    let db = matching_database(&q, 800, 11);
+    let program = HyperCubeProgram::new(&q, 8, 42).unwrap();
+    let cfg = MpcConfig::new(8, 1.0 / 3.0);
+    assert_transport_invariant("HC triangle", &program, &db, &cfg, &DistConfig::default());
+}
+
+#[test]
+fn multi_round_plans_are_transport_independent() {
+    for (q, n) in [(families::chain(4), 500u64), (families::cycle(6), 250)] {
+        let plan = MultiRoundPlan::build(&q, Rational::ZERO).unwrap();
+        let program = PlanProgram::new(&plan, 6, 5).unwrap();
+        let db = matching_database(&q, n, 3);
+        let cfg = MpcConfig::new(6, 0.0);
+        assert_transport_invariant(
+            &format!("plan {}", q.name()),
+            &program,
+            &db,
+            &cfg,
+            &DistConfig::default(),
+        );
+    }
+}
+
+#[test]
+fn skew_resilient_routing_is_transport_independent() {
+    let q = families::chain(2);
+    let db = zipf_database(&q, 1200, 1200, 1.2, 5);
+    let program = SkewResilientProgram::new(&q, &db, 8, &HeavyHitterPolicy::default(), 42).unwrap();
+    let cfg = MpcConfig::new(8, 0.0);
+    assert_transport_invariant("skew zipf 1.2", &program, &db, &cfg, &DistConfig::default());
+}
+
+/// Packet boundaries must not matter: tiny blocks (many frames) and tight
+/// queues stress the backpressure paths of both transports.
+#[test]
+fn block_and_queue_shapes_do_not_change_semantics() {
+    let q = families::triangle();
+    let db = matching_database(&q, 400, 7);
+    let program = HyperCubeProgram::new(&q, 4, 9).unwrap();
+    let cfg = MpcConfig::new(4, 1.0 / 3.0);
+    for (block, queue) in [(1usize, 2usize), (7, 4), (512, 64)] {
+        let dist = DistConfig {
+            transport: TransportKind::InProcess,
+            queue_capacity: queue,
+            block_capacity: block,
+        };
+        assert_transport_invariant(
+            &format!("HC block={block} queue={queue}"),
+            &program,
+            &db,
+            &cfg,
+            &dist,
+        );
+    }
+}

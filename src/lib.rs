@@ -37,6 +37,7 @@
 //! | [`core`] | `mpc-core` | HyperCube, shares, space exponents, multi-round plans and bounds |
 //! | [`skew`] | `mpc-skew` | heavy-hitter detection and skew-resilient residual plans |
 //! | [`graph`] | `mpc-graph` | connected components on the MPC model |
+//! | [`net`] | `mpc-net` | framed block transport (in-process + TCP), spawned-process runner, multi-query service |
 //!
 //! ## Quick start
 //!
@@ -66,6 +67,7 @@ pub use mpc_cq as cq;
 pub use mpc_data as data;
 pub use mpc_graph as graph;
 pub use mpc_lp as lp;
+pub use mpc_net as net;
 pub use mpc_sim as sim;
 pub use mpc_skew as skew;
 pub use mpc_storage as storage;
@@ -86,6 +88,7 @@ pub mod prelude {
     pub use mpc_cq::{families, parser::parse_query, Query};
     pub use mpc_data::{matching_database, output_controlled_database};
     pub use mpc_lp::Rational;
+    pub use mpc_net::{QueryJob, QueryService, ServiceConfig, TransportKind};
     pub use mpc_sim::{AsyncConfig, Backend, Cluster, CostModel, MpcConfig, StragglerSpec};
     pub use mpc_skew::{HeavyHitterPolicy, SkewResilient};
     pub use mpc_storage::{Database, Relation, Tuple};
@@ -124,6 +127,10 @@ mod tests {
             _: &Tuple,
             _: &SkewResilient,
             _: &HeavyHitterPolicy,
+            _: &QueryJob,
+            _: &QueryService,
+            _: &ServiceConfig,
+            _: &TransportKind,
         ) {
         }
         let _parse: fn(&str) -> Result<Query, crate::cq::CqError> = parse_query;
