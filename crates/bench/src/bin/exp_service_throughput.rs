@@ -168,7 +168,8 @@ fn main() {
                     seed: t.seed,
                     plan_epsilon: None,
                 })
-                .expect("submission accepted");
+                .expect("submission accepted")
+                .qid;
             qid_to_template.insert(qid, ti);
             submitted += 1;
             outstanding += 1;

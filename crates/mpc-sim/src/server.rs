@@ -115,6 +115,21 @@ impl ServerState {
         self.relations.keys().map(String::as_str)
     }
 
+    /// Every relation this server knows, in tag order — the snapshot a
+    /// round checkpoint serialises.
+    pub fn relations(&self) -> impl Iterator<Item = &Relation> {
+        self.relations.values()
+    }
+
+    /// The per-round received volumes `(bytes, tuples)` up to and
+    /// including `rounds` — the accounting half of a checkpoint.
+    pub fn received_volumes(&self, rounds: usize) -> (Vec<u64>, Vec<u64>) {
+        (
+            (1..=rounds).map(|r| self.bytes_received_in_round(r)).collect(),
+            (1..=rounds).map(|r| self.tuples_received_in_round(r)).collect(),
+        )
+    }
+
     /// Snapshot the server's knowledge as a [`Database`] (used to run the
     /// local join engine on it).
     pub fn as_database(&self) -> Database {

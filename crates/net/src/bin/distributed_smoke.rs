@@ -11,6 +11,11 @@
 //! 2. **Concurrent service trace** — two queries (triangle + 4-cycle)
 //!    multiplexed over one shared cluster, each compared the same way.
 //!
+//! With `--inject PLAN` (e.g. `--inject kill:w2@round1`) the spawned
+//! stage runs a third time with the fault plan armed and crash recovery
+//! enabled, and requires the recovered run to match the undisturbed
+//! reference byte-for-byte while consuming at least one re-spawn.
+//!
 //! Any divergence prints what differed and exits non-zero, failing the
 //! CI job.
 
@@ -18,7 +23,9 @@ use std::process::exit;
 use std::sync::Arc;
 
 use mpc_net::spec::{DbSpec, ProgramSpec};
-use mpc_net::{JobSpec, QueryJob, QueryService, ServiceConfig};
+use mpc_net::{
+    FaultPlan, JobSpec, MasterConfig, QueryJob, QueryService, RecoveryPolicy, ServiceConfig,
+};
 use mpc_sim::{Cluster, MpcConfig, RunResult};
 
 fn fail(msg: &str) -> ! {
@@ -49,8 +56,8 @@ fn check(
     );
 }
 
-fn spawned_stage() {
-    let job = JobSpec {
+fn smoke_job() -> JobSpec {
+    JobSpec {
         program: ProgramSpec::HyperCube,
         query: mpc_cq::families::triangle().to_string(),
         db: DbSpec::Matching { n: 800, seed: 17 },
@@ -59,26 +66,55 @@ fn spawned_stage() {
         seed: 23,
         queue_capacity: 64,
         block_capacity: 128,
-    };
+    }
+}
+
+fn worker_bin() -> std::path::PathBuf {
+    std::env::current_exe()
+        .ok()
+        .and_then(|exe| exe.parent().map(|d| d.join("mpc_workerd")))
+        .filter(|p| p.exists())
+        .unwrap_or_else(|| {
+            fail("spawned: mpc_workerd not found next to this binary (build it first: cargo build -p mpc-net --bins)")
+        })
+}
+
+fn spawned_stage() -> RunResult {
+    let job = smoke_job();
     let built = job.build().unwrap_or_else(|e| fail(&format!("spawned: job build: {e}")));
     let reference = built
         .cluster
         .run(built.program.as_ref(), &built.db)
         .unwrap_or_else(|e| fail(&format!("spawned: reference run: {e}")));
 
-    let worker_bin = std::env::current_exe()
-        .ok()
-        .and_then(|exe| exe.parent().map(|d| d.join("mpc_workerd")))
-        .filter(|p| p.exists())
-        .unwrap_or_else(|| {
-            fail("spawned: mpc_workerd not found next to this binary (build it first: cargo build -p mpc-net --bins)")
-        });
-    let got = mpc_net::run_spawned(&job, &worker_bin)
+    let got = mpc_net::run_spawned(&job, &worker_bin())
         .unwrap_or_else(|e| fail(&format!("spawned: distributed run: {e}")));
     check("spawned C3_hc p=4", &reference, &got.output, &got.rounds);
     if got.per_server_output != reference.per_server_output {
         fail("spawned C3_hc p=4: per-server output counts differ");
     }
+    reference
+}
+
+/// Re-run the spawned stage with `plan` armed and recovery enabled; the
+/// recovered run must reproduce the undisturbed reference exactly.
+fn fault_stage(reference: &RunResult, plan: FaultPlan) {
+    let job = smoke_job();
+    let label = format!("spawned C3_hc p=4 under {plan}");
+    let cfg = MasterConfig { recovery: RecoveryPolicy::with_respawns(2), faults: Some(plan) };
+    let report = mpc_net::run_spawned_with(&job, &worker_bin(), &cfg)
+        .unwrap_or_else(|e| fail(&format!("{label}: recovering run: {e}")));
+    check(&label, reference, &report.result.output, &report.result.rounds);
+    if report.result.per_server_output != reference.per_server_output {
+        fail(&format!("{label}: per-server output counts differ"));
+    }
+    if report.result.input_bytes != reference.input_bytes {
+        fail(&format!("{label}: total input bytes differ"));
+    }
+    if report.respawns == 0 {
+        fail(&format!("{label}: the fault plan never killed anything (0 respawns)"));
+    }
+    println!("distributed_smoke: {label}: recovered after {} respawn(s)", report.respawns);
 }
 
 fn service_stage() {
@@ -94,10 +130,12 @@ fn service_stage() {
     // concurrent on the shared reactors.
     let a = svc
         .submit(&QueryJob { query: q1.clone(), db: db1.clone(), seed: 31, plan_epsilon: None })
-        .unwrap_or_else(|e| fail(&format!("service: submit 1: {e}")));
+        .unwrap_or_else(|e| fail(&format!("service: submit 1: {e}")))
+        .qid;
     let b = svc
         .submit(&QueryJob { query: q2.clone(), db: db2.clone(), seed: 32, plan_epsilon: None })
-        .unwrap_or_else(|e| fail(&format!("service: submit 2: {e}")));
+        .unwrap_or_else(|e| fail(&format!("service: submit 2: {e}")))
+        .qid;
     let mut outcomes = Vec::new();
     for _ in 0..2 {
         outcomes
@@ -119,7 +157,27 @@ fn service_stage() {
 }
 
 fn main() {
-    spawned_stage();
+    let args: Vec<String> = std::env::args().collect();
+    let mut inject: Option<FaultPlan> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--inject" if i + 1 < args.len() => {
+                match args[i + 1].parse() {
+                    Ok(plan) => inject = Some(plan),
+                    Err(e) => fail(&format!("bad --inject plan {:?}: {e}", args[i + 1])),
+                }
+                i += 2;
+            }
+            other => fail(&format!(
+                "unknown argument {other:?} (usage: distributed_smoke [--inject PLAN])"
+            )),
+        }
+    }
+    let reference = spawned_stage();
+    if let Some(plan) = inject {
+        fault_stage(&reference, plan);
+    }
     service_stage();
     println!("distributed_smoke: all stages passed");
 }

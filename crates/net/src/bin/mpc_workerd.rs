@@ -1,21 +1,36 @@
 //! The spawned worker daemon: one OS process per MPC server.
 //!
 //! Launched by the master (`mpc_net::run_spawned`) as
-//! `mpc_workerd --master HOST:PORT --worker ID`; everything else — the
-//! job spec, the peer table, the per-round barriers — arrives over the
-//! control connection.
+//! `mpc_workerd --master HOST:PORT --worker ID [--fault SPEC]...`;
+//! everything else — the job spec, the peer table, the per-round
+//! barriers — arrives over the control connection.
+//!
+//! `--fault` arms one deterministic fault (see [`mpc_net::Fault`] for
+//! the grammar, e.g. `kill:w2@round1` or `drop:w0@round2:1`); the flag
+//! may repeat. Faults are only ever armed here, in the spawned daemon —
+//! in-process transports and recovery replacements always run clean.
 
 use std::process::exit;
+
+use mpc_net::Fault;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut master: Option<String> = None;
     let mut worker: Option<usize> = None;
+    let mut faults: Vec<Fault> = Vec::new();
     let mut i = 1;
     while i + 1 < args.len() {
         match args[i].as_str() {
             "--master" => master = Some(args[i + 1].clone()),
             "--worker" => worker = args[i + 1].parse().ok(),
+            "--fault" => match args[i + 1].parse() {
+                Ok(f) => faults.push(f),
+                Err(e) => {
+                    eprintln!("mpc_workerd: bad --fault {:?}: {e}", args[i + 1]);
+                    exit(2);
+                }
+            },
             other => {
                 eprintln!("mpc_workerd: unknown argument {other:?}");
                 exit(2);
@@ -24,9 +39,10 @@ fn main() {
         i += 2;
     }
     let (Some(master), Some(worker)) = (master, worker) else {
-        eprintln!("usage: mpc_workerd --master HOST:PORT --worker ID");
+        eprintln!("usage: mpc_workerd --master HOST:PORT --worker ID [--fault SPEC]...");
         exit(2);
     };
+    mpc_net::fault::arm(&faults);
     if let Err(e) = mpc_net::worker_main(&master, worker) {
         eprintln!("mpc_workerd[{worker}]: {e}");
         exit(1);

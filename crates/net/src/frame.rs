@@ -41,6 +41,9 @@ const KIND_SUMMARY: u8 = 9;
 const KIND_SHUTDOWN: u8 = 10;
 const KIND_ABORT: u8 = 11;
 const KIND_DATA_HELLO: u8 = 12;
+const KIND_CHECKPOINT: u8 = 13;
+const KIND_REPLAY_REQUEST: u8 = 14;
+const KIND_REPLAY_DATA: u8 = 15;
 
 /// One frame on a control or data socket.
 #[derive(Debug, Clone)]
@@ -107,6 +110,38 @@ pub enum Frame {
         /// Sending server id.
         from: u32,
     },
+    /// A round checkpoint: the server's full post-compute relation state
+    /// and per-round received volumes at the end of `round`.
+    ///
+    /// Worker → master: sent on the control stream right before
+    /// `Ready(round)` (the per-round barrier is the checkpoint cut).
+    /// Master → worker: the same payload restores a re-spawned worker,
+    /// which resumes execution at `round + 1`.
+    Checkpoint {
+        /// The completed round this snapshot describes (0 = fresh start).
+        round: u32,
+        /// Every relation the server knows, in tag order.
+        relations: Vec<Relation>,
+        /// Bytes received per round (index `round - 1`).
+        per_round_bytes: Vec<u64>,
+        /// Tuples received per round.
+        per_round_tuples: Vec<u64>,
+    },
+    /// Re-spawned worker → surviving peer, right after `DataHello` on the
+    /// rejoin data socket: retransmit your logged outbound frames for
+    /// every round after `from_round` (the rejoiner's checkpoint).
+    ReplayRequest {
+        /// The rejoining worker's restored checkpoint round.
+        from_round: u32,
+    },
+    /// Surviving peer → re-spawned worker: header preceding the `frames`
+    /// logged frames of `round` it is about to retransmit.
+    ReplayData {
+        /// The round being replayed.
+        round: u32,
+        /// How many logged frames follow.
+        frames: u32,
+    },
 }
 
 fn put_u16(buf: &mut Vec<u8>, v: u16) {
@@ -172,6 +207,48 @@ impl<'a> Body<'a> {
     }
 }
 
+fn put_relation(buf: &mut Vec<u8>, rel: &Relation) {
+    put_str(buf, rel.name());
+    put_u32(buf, rel.arity() as u32);
+    put_u32(buf, rel.len() as u32);
+    for t in rel.iter() {
+        for &v in t.values() {
+            put_u64(buf, v);
+        }
+    }
+}
+
+fn put_u64s(buf: &mut Vec<u8>, vs: &[u64]) {
+    put_u32(buf, vs.len() as u32);
+    for &v in vs {
+        put_u64(buf, v);
+    }
+}
+
+fn take_relation(b: &mut Body<'_>) -> Result<Relation> {
+    let name = b.str()?;
+    let arity = b.u32()? as usize;
+    let rows = b.u32()? as usize;
+    let mut rel = Relation::empty(&name, arity);
+    let mut row = Vec::with_capacity(arity);
+    for _ in 0..rows {
+        row.clear();
+        b.values(arity, &mut row)?;
+        rel.insert(Tuple(row.clone()))
+            .map_err(|e| NetError::Protocol(format!("wire relation: {e}")))?;
+    }
+    Ok(rel)
+}
+
+fn take_u64s(b: &mut Body<'_>) -> Result<Vec<u64>> {
+    let count = b.u32()? as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        out.push(b.u64()?);
+    }
+    Ok(out)
+}
+
 /// Serialise `frame` into `buf` (cleared first): length prefix + body.
 pub fn encode_frame(frame: &Frame, buf: &mut Vec<u8>) {
     buf.clear();
@@ -223,22 +300,9 @@ pub fn encode_frame(frame: &Frame, buf: &mut Vec<u8>) {
         }
         Frame::Summary { output, per_round_bytes, per_round_tuples } => {
             buf.push(KIND_SUMMARY);
-            put_str(buf, output.name());
-            put_u32(buf, output.arity() as u32);
-            put_u32(buf, output.len() as u32);
-            for t in output.iter() {
-                for &v in t.values() {
-                    put_u64(buf, v);
-                }
-            }
-            put_u32(buf, per_round_bytes.len() as u32);
-            for &b in per_round_bytes {
-                put_u64(buf, b);
-            }
-            put_u32(buf, per_round_tuples.len() as u32);
-            for &t in per_round_tuples {
-                put_u64(buf, t);
-            }
+            put_relation(buf, output);
+            put_u64s(buf, per_round_bytes);
+            put_u64s(buf, per_round_tuples);
         }
         Frame::Shutdown => buf.push(KIND_SHUTDOWN),
         Frame::Abort { reason } => {
@@ -248,6 +312,25 @@ pub fn encode_frame(frame: &Frame, buf: &mut Vec<u8>) {
         Frame::DataHello { from } => {
             buf.push(KIND_DATA_HELLO);
             put_u32(buf, *from);
+        }
+        Frame::Checkpoint { round, relations, per_round_bytes, per_round_tuples } => {
+            buf.push(KIND_CHECKPOINT);
+            put_u32(buf, *round);
+            put_u32(buf, relations.len() as u32);
+            for rel in relations {
+                put_relation(buf, rel);
+            }
+            put_u64s(buf, per_round_bytes);
+            put_u64s(buf, per_round_tuples);
+        }
+        Frame::ReplayRequest { from_round } => {
+            buf.push(KIND_REPLAY_REQUEST);
+            put_u32(buf, *from_round);
+        }
+        Frame::ReplayData { round, frames } => {
+            buf.push(KIND_REPLAY_DATA);
+            put_u32(buf, *round);
+            put_u32(buf, *frames);
         }
     }
     let body_len = (buf.len() - 4) as u32;
@@ -326,33 +409,27 @@ pub fn decode_body(raw: &[u8], pool: &BlockPool) -> Result<Frame> {
         }
         KIND_FIN => Frame::Fin { round: b.u32()? },
         KIND_SUMMARY => {
-            let name = b.str()?;
-            let arity = b.u32()? as usize;
-            let rows = b.u32()? as usize;
-            let mut output = Relation::empty(&name, arity);
-            let mut row = Vec::with_capacity(arity);
-            for _ in 0..rows {
-                row.clear();
-                b.values(arity, &mut row)?;
-                output
-                    .insert(Tuple(row.clone()))
-                    .map_err(|e| NetError::Protocol(format!("summary relation: {e}")))?;
-            }
-            let nb = b.u32()? as usize;
-            let mut per_round_bytes = Vec::with_capacity(nb);
-            for _ in 0..nb {
-                per_round_bytes.push(b.u64()?);
-            }
-            let nt = b.u32()? as usize;
-            let mut per_round_tuples = Vec::with_capacity(nt);
-            for _ in 0..nt {
-                per_round_tuples.push(b.u64()?);
-            }
+            let output = take_relation(&mut b)?;
+            let per_round_bytes = take_u64s(&mut b)?;
+            let per_round_tuples = take_u64s(&mut b)?;
             Frame::Summary { output, per_round_bytes, per_round_tuples }
         }
         KIND_SHUTDOWN => Frame::Shutdown,
         KIND_ABORT => Frame::Abort { reason: b.str()? },
         KIND_DATA_HELLO => Frame::DataHello { from: b.u32()? },
+        KIND_CHECKPOINT => {
+            let round = b.u32()?;
+            let count = b.u32()? as usize;
+            let mut relations = Vec::with_capacity(count);
+            for _ in 0..count {
+                relations.push(take_relation(&mut b)?);
+            }
+            let per_round_bytes = take_u64s(&mut b)?;
+            let per_round_tuples = take_u64s(&mut b)?;
+            Frame::Checkpoint { round, relations, per_round_bytes, per_round_tuples }
+        }
+        KIND_REPLAY_REQUEST => Frame::ReplayRequest { from_round: b.u32()? },
+        KIND_REPLAY_DATA => Frame::ReplayData { round: b.u32()?, frames: b.u32()? },
         other => return Err(NetError::Protocol(format!("unknown frame kind {other}"))),
     };
     if b.at != raw.len() {
@@ -394,6 +471,8 @@ mod tests {
             Frame::Shutdown,
             Frame::Abort { reason: "worker 2 died".to_string() },
             Frame::DataHello { from: 5 },
+            Frame::ReplayRequest { from_round: 3 },
+            Frame::ReplayData { round: 4, frames: 17 },
         ];
         for f in frames {
             let got = round_trip(&f, &pool);
@@ -446,6 +525,45 @@ mod tests {
                 assert_eq!(per_round_tuples, vec![8, 0, 4]);
             }
             other => panic!("expected a summary, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_frames_round_trip() {
+        let pool = BlockPool::new();
+        let r1 = Relation::from_tuples("R", 2, vec![[1u64, 2], [3, 4]]).unwrap();
+        let r2 = Relation::from_tuples("S", 3, vec![[5u64, 6, 7]]).unwrap();
+        let f = Frame::Checkpoint {
+            round: 2,
+            relations: vec![r1.clone(), r2.clone()],
+            per_round_bytes: vec![96, 24],
+            per_round_tuples: vec![6, 1],
+        };
+        match round_trip(&f, &pool) {
+            Frame::Checkpoint { round, relations, per_round_bytes, per_round_tuples } => {
+                assert_eq!(round, 2);
+                assert_eq!(relations.len(), 2);
+                assert!(relations[0].same_tuples(&r1));
+                assert_eq!(relations[0].name(), "R");
+                assert!(relations[1].same_tuples(&r2));
+                assert_eq!(relations[1].name(), "S");
+                assert_eq!(per_round_bytes, vec![96, 24]);
+                assert_eq!(per_round_tuples, vec![6, 1]);
+            }
+            other => panic!("expected a checkpoint, got {other:?}"),
+        }
+        // A fresh-start checkpoint is legal: round 0, nothing learned yet.
+        match round_trip(
+            &Frame::Checkpoint {
+                round: 0,
+                relations: vec![],
+                per_round_bytes: vec![],
+                per_round_tuples: vec![],
+            },
+            &pool,
+        ) {
+            Frame::Checkpoint { round: 0, relations, .. } => assert!(relations.is_empty()),
+            other => panic!("expected the empty checkpoint, got {other:?}"),
         }
     }
 

@@ -32,8 +32,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod frame;
 pub mod master;
+pub mod recovery;
 pub mod runner;
 pub mod service;
 pub mod spec;
@@ -41,10 +43,12 @@ pub mod transport;
 
 use std::fmt;
 
+pub use fault::{Fault, FaultKind, FaultPhase, FaultPlan};
 pub use frame::Frame;
-pub use master::{run_spawned, worker_main};
+pub use master::{run_spawned, run_spawned_with, worker_main, SpawnedReport};
+pub use recovery::{MasterConfig, RecoveryPolicy, RecoverySettings};
 pub use runner::{run_distributed, run_transport_differential, DistConfig, TransportKind};
-pub use service::{QueryJob, QueryOutcome, QueryService, ServiceConfig};
+pub use service::{Admission, QueryJob, QueryOutcome, QueryService, ServiceConfig, Submission};
 pub use spec::{JobSpec, ProgramSpec};
 pub use transport::{InProcTransport, NetPacket, SendOutcome, TcpTransport, Transport};
 
@@ -58,6 +62,8 @@ pub enum NetError {
     /// The peer violated the wire protocol (bad frame, unexpected state),
     /// or a worker died / aborted mid-job.
     Protocol(String),
+    /// The service declined a submission outright (deferral queue full).
+    Rejected(String),
 }
 
 impl fmt::Display for NetError {
@@ -66,6 +72,7 @@ impl fmt::Display for NetError {
             NetError::Sim(e) => write!(f, "simulator error: {e}"),
             NetError::Io(e) => write!(f, "io error: {e}"),
             NetError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            NetError::Rejected(msg) => write!(f, "rejected: {msg}"),
         }
     }
 }

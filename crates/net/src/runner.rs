@@ -21,6 +21,7 @@
 use std::collections::BTreeMap;
 use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
+use std::time::Duration;
 
 use mpc_sim::queue::Inbox;
 use mpc_sim::{
@@ -31,10 +32,17 @@ use mpc_storage::{Database, Relation};
 
 use crate::frame::{read_frame, write_frame, Frame};
 use crate::master::ControlPlane;
+use crate::recovery::RecoverySettings;
 use crate::transport::{
-    FailFastBarrier, InProcTransport, NetPacket, SendOutcome, TcpTransport, Transport,
+    dial_with_backoff, FailFastBarrier, InProcTransport, NetPacket, SendOutcome, TcpEndpoints,
+    TcpTransport, Transport,
 };
 use crate::{NetError, Result};
+
+/// How long a worker keeps retrying its master and mesh dials before
+/// giving up (with capped exponential backoff — see
+/// [`dial_with_backoff`]).
+const DIAL_DEADLINE: Duration = Duration::from_secs(10);
 
 /// Which fabric moves the packets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -145,6 +153,9 @@ impl<T: Transport> Ctx<'_, T> {
             NetPacket::Abort => {
                 Err(NetError::Protocol(format!("worker {}: a peer aborted", self.id)))
             }
+            // Transport-internal wake-up markers are stripped inside the
+            // transport's recv; one leaking through is harmless.
+            NetPacket::Resync => Ok(()),
         }
     }
 
@@ -184,9 +195,55 @@ impl<T: Transport> Ctx<'_, T> {
     }
 }
 
+/// A restored round checkpoint: everything a re-spawned worker needs to
+/// resume at `round + 1` instead of round 1 (decoded from the master's
+/// [`Frame::Checkpoint`]).
+#[derive(Debug, Clone)]
+pub struct RestorePoint {
+    /// The completed round the snapshot describes.
+    pub round: usize,
+    /// Every relation the server knew, in tag order.
+    pub relations: Vec<Relation>,
+    /// Bytes received per round (index `round - 1`).
+    pub per_round_bytes: Vec<u64>,
+    /// Tuples received per round.
+    pub per_round_tuples: Vec<u64>,
+}
+
+/// The per-worker parameters of [`worker_loop`], bundled so call sites
+/// stay readable as the list grows.
+pub struct WorkerRun {
+    /// This worker's server id in `0..p`.
+    pub id: usize,
+    /// Cluster size.
+    pub p: usize,
+    /// Tuples per columnar block.
+    pub block_capacity: usize,
+    /// The block pool shared with the transport's decoder.
+    pub pool: Arc<BlockPool>,
+    /// Resume from this checkpoint instead of starting at round 1 —
+    /// the re-spawned worker's recovery path.
+    pub resume: Option<RestorePoint>,
+}
+
+impl WorkerRun {
+    /// A fresh (round-1) run for worker `id` of `p`.
+    pub fn fresh(id: usize, p: usize, block_capacity: usize, pool: Arc<BlockPool>) -> Self {
+        WorkerRun { id, p, block_capacity, pool, resume: None }
+    }
+}
+
 /// Run one server's share of `program` over `transport`. See the module
 /// docs for the protocol; the caller provides the (deterministically
 /// reconstructed or shared) input database.
+///
+/// A resumed run (`run.resume`) rebuilds the checkpointed server state
+/// and re-executes only the rounds after the checkpoint. Because routing
+/// and computation are pure functions of the pre-round state, the
+/// re-execution reproduces the original rounds' blocks (and block
+/// sequence numbers) exactly — surviving peers drop the duplicates by
+/// watermark while the replacement's missing frames arrive via their
+/// replay logs.
 ///
 /// # Errors
 ///
@@ -197,25 +254,35 @@ pub fn worker_loop<T: Transport, P: MpcProgram + ?Sized>(
     transport: &mut T,
     program: &P,
     db: &Database,
-    id: usize,
-    p: usize,
-    block_capacity: usize,
-    pool: Arc<BlockPool>,
+    run: WorkerRun,
 ) -> Result<WorkerSummary> {
+    let WorkerRun { id, p, block_capacity, pool, resume } = run;
     let total_rounds = program.num_rounds();
+    let mut state = ServerState::new(id, db.domain_size());
+    let mut start_round = 1;
+    if let Some(rp) = resume {
+        for rel in rp.relations {
+            state.add_local(rel);
+        }
+        for (i, (&b, &t)) in rp.per_round_bytes.iter().zip(&rp.per_round_tuples).enumerate() {
+            state.credit_received(i + 1, b, t);
+        }
+        start_round = rp.round + 1;
+    }
     let mut ctx = Ctx {
         transport,
         id,
         round: 0,
-        state: ServerState::new(id, db.domain_size()),
+        state,
         fins: vec![0; total_rounds],
         stash: (0..total_rounds).map(|_| Stage::default()).collect(),
         pool,
         scratch: Vec::new(),
     };
 
-    for round in 1..=total_rounds {
+    for round in start_round..=total_rounds {
         ctx.round = round;
+        crate::fault::trip(id as u32, crate::fault::FaultPhase::RoundStart(round as u32));
         if round == 1 {
             // Input sharding: relation `ri` is routed by worker `ri % p`,
             // its blocks carrying the logical input server id `p + ri`.
@@ -297,6 +364,11 @@ pub fn worker_loop<T: Transport, P: MpcProgram + ?Sized>(
 
         // The coordination barrier: nobody enters round + 1 until every
         // worker finished this one (ready/proceed in the TCP transport).
+        // The barrier is the checkpoint cut — the post-compute state is
+        // snapshotted right before declaring the round done, so a
+        // restored worker resumes exactly at the next round's start.
+        crate::fault::trip(id as u32, crate::fault::FaultPhase::Barrier(round as u32));
+        ctx.transport.checkpoint(round, &ctx.state, round == total_rounds)?;
         ctx.transport.barrier(round)?;
     }
 
@@ -399,8 +471,8 @@ fn run_in_process<P: MpcProgram>(
                 let pool = Arc::clone(&pool);
                 scope.spawn(move || {
                     let mut transport = InProcTransport::new(peers, rx, barrier);
-                    let out =
-                        worker_loop(&mut transport, program, db, id, p, cfg.block_capacity, pool);
+                    let run = WorkerRun::fresh(id, p, cfg.block_capacity, pool);
+                    let out = worker_loop(&mut transport, program, db, run);
                     if out.is_err() {
                         transport.abort();
                     }
@@ -443,15 +515,16 @@ fn run_tcp_threads<P: MpcProgram>(
         let handles: Vec<_> = (0..p)
             .map(|id| {
                 scope.spawn(move || -> Result<WorkerSummary> {
-                    let (mut transport, _job) = tcp_worker_setup(
+                    let setup = tcp_worker_setup(
                         id,
                         Some(p),
                         &master_addr.to_string(),
                         cfg.queue_capacity,
                     )?;
+                    let mut transport = setup.transport;
                     let pool = Arc::new(BlockPool::new());
-                    let out =
-                        worker_loop(&mut transport, program, db, id, p, cfg.block_capacity, pool);
+                    let run = WorkerRun::fresh(id, p, cfg.block_capacity, pool);
+                    let out = worker_loop(&mut transport, program, db, run);
                     if out.is_err() {
                         transport.abort();
                     }
@@ -479,30 +552,55 @@ fn run_tcp_threads<P: MpcProgram>(
     collect_summaries(results)
 }
 
+/// What [`tcp_worker_setup`] hands back: the meshed transport, the raw
+/// job spec (spawned mode) and the restore checkpoint (recovery rejoin).
+pub(crate) struct WorkerSetup {
+    pub transport: TcpTransport,
+    pub job: Option<String>,
+    pub restore: Option<RestorePoint>,
+}
+
 /// Dial the master, announce ourselves, mesh-connect to every peer and
 /// wait for the collective proceed — the worker side of the handshake.
 /// Used by both the threaded TCP runner and the spawned worker daemon.
+/// All dials retry with capped exponential backoff, so a slow-starting
+/// master or peer delays the handshake instead of killing it.
 ///
 /// The cluster size is learned from the master's peer table (validated
 /// against `expect_p` when the caller already knows it). In spawned mode
-/// the master precedes the peer table with a `Job` frame, returned here
-/// as the raw spec string; in threaded mode no Job frame is sent.
+/// the master precedes the peer table with a `Job` frame, returned as
+/// the raw spec string; in threaded mode no Job frame is sent.
+///
+/// **Recovery rejoin.** When the master also sends a `Checkpoint` frame
+/// the worker is a re-spawned replacement: instead of the fresh-mesh
+/// handshake (dial lower ids, accept higher), it dials *every* surviving
+/// peer's rejoin acceptor, announcing `DataHello` + `ReplayRequest` so
+/// the survivor replays the rounds the replacement's checkpoint misses.
 pub(crate) fn tcp_worker_setup(
     id: usize,
     expect_p: Option<usize>,
     master_addr: &str,
     queue_capacity: usize,
-) -> Result<(TcpTransport, Option<String>)> {
+) -> Result<WorkerSetup> {
     let pool = BlockPool::new();
     let data_listener = TcpListener::bind("127.0.0.1:0")?;
     let data_port = data_listener.local_addr()?.port();
-    let mut control = TcpStream::connect(master_addr)?;
+    let mut control = dial_with_backoff(master_addr, DIAL_DEADLINE, id as u64)?;
     control.set_nodelay(true).ok();
     write_frame(&mut control, &Frame::Hello { worker_id: id as u32, data_port })?;
     let mut job = None;
+    let mut restore = None;
     let peers = loop {
         match read_frame(&mut control, &pool)? {
             Frame::Job { spec } => job = Some(spec),
+            Frame::Checkpoint { round, relations, per_round_bytes, per_round_tuples } => {
+                restore = Some(RestorePoint {
+                    round: round as usize,
+                    relations,
+                    per_round_bytes,
+                    per_round_tuples,
+                });
+            }
             Frame::Peers { peers } => break peers,
             Frame::Abort { reason } => {
                 return Err(NetError::Protocol(format!("master aborted during hello: {reason}")));
@@ -526,31 +624,46 @@ pub(crate) fn tcp_worker_setup(
         }
         addr_of[pid] = addr;
     }
-    // Mesh: dial every lower id, accept every higher one. Each pair
-    // shares one full-duplex stream.
     let mut outbound: Vec<Option<TcpStream>> = (0..p).map(|_| None).collect();
     let mut inbound: Vec<(usize, TcpStream)> = Vec::with_capacity(p.saturating_sub(1));
-    for (peer, addr) in addr_of.iter().enumerate().take(id) {
-        let mut s = TcpStream::connect(addr.as_str())?;
-        s.set_nodelay(true).ok();
-        write_frame(&mut s, &Frame::DataHello { from: id as u32 })?;
-        outbound[peer] = Some(s.try_clone()?);
-        inbound.push((peer, s));
-    }
-    for _ in (id + 1)..p {
-        let (mut s, _) = data_listener.accept()?;
-        s.set_nodelay(true).ok();
-        let from = match read_frame(&mut s, &pool)? {
-            Frame::DataHello { from } => from as usize,
-            other => {
-                return Err(NetError::Protocol(format!("expected DataHello, got {other:?}")));
+    if let Some(rp) = &restore {
+        // Rejoin mesh: dial every surviving peer and ask for replay.
+        for (peer, addr) in addr_of.iter().enumerate() {
+            if peer == id {
+                continue;
             }
-        };
-        if from >= p || from <= id {
-            return Err(NetError::Protocol(format!("unexpected data hello from {from}")));
+            let mut s = dial_with_backoff(addr, DIAL_DEADLINE, (id * 31 + peer) as u64)?;
+            s.set_nodelay(true).ok();
+            write_frame(&mut s, &Frame::DataHello { from: id as u32 })?;
+            write_frame(&mut s, &Frame::ReplayRequest { from_round: rp.round as u32 })?;
+            outbound[peer] = Some(s.try_clone()?);
+            inbound.push((peer, s));
         }
-        outbound[from] = Some(s.try_clone()?);
-        inbound.push((from, s));
+    } else {
+        // Fresh mesh: dial every lower id, accept every higher one. Each
+        // pair shares one full-duplex stream.
+        for (peer, addr) in addr_of.iter().enumerate().take(id) {
+            let mut s = dial_with_backoff(addr, DIAL_DEADLINE, (id * 31 + peer) as u64)?;
+            s.set_nodelay(true).ok();
+            write_frame(&mut s, &Frame::DataHello { from: id as u32 })?;
+            outbound[peer] = Some(s.try_clone()?);
+            inbound.push((peer, s));
+        }
+        for _ in (id + 1)..p {
+            let (mut s, _) = data_listener.accept()?;
+            s.set_nodelay(true).ok();
+            let from = match read_frame(&mut s, &pool)? {
+                Frame::DataHello { from } => from as usize,
+                other => {
+                    return Err(NetError::Protocol(format!("expected DataHello, got {other:?}")));
+                }
+            };
+            if from >= p || from <= id {
+                return Err(NetError::Protocol(format!("unexpected data hello from {from}")));
+            }
+            outbound[from] = Some(s.try_clone()?);
+            inbound.push((from, s));
+        }
     }
     write_frame(&mut control, &Frame::MeshReady)?;
     match read_frame(&mut control, &pool)? {
@@ -562,9 +675,11 @@ pub(crate) fn tcp_worker_setup(
             return Err(NetError::Protocol(format!("expected Proceed(0), got {other:?}")));
         }
     }
-    let transport =
-        TcpTransport::new(id, p, outbound, inbound, control, Arc::new(pool), queue_capacity)?;
-    Ok((transport, job))
+    let recovery = job.as_deref().map(RecoverySettings::from_wire).unwrap_or_default();
+    let endpoints =
+        TcpEndpoints { id, p, outbound, inbound, control, listener: Some(data_listener) };
+    let transport = TcpTransport::new(endpoints, Arc::new(pool), queue_capacity, recovery)?;
+    Ok(WorkerSetup { transport, job, restore })
 }
 
 fn collect_summaries(results: Vec<Result<WorkerSummary>>) -> Result<Vec<WorkerSummary>> {

@@ -20,9 +20,9 @@
 //! after `p` FINs. There is deliberately **no** cross-query barrier —
 //! queries in different rounds interleave freely on the reactors.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use mpc_core::analysis::QueryAnalysis;
@@ -61,6 +61,11 @@ pub struct ServiceConfig {
     /// (`budget_bytes(N)` each) may not exceed this. A query larger than
     /// the whole capacity is admitted only when the service is idle.
     pub admission_capacity_bytes: u64,
+    /// How many queries may wait in the deferral queue when the
+    /// admission budget is exhausted. A submission past this depth is
+    /// rejected outright ([`crate::NetError::Rejected`]) instead of
+    /// queueing without bound.
+    pub deferral_depth: usize,
 }
 
 impl ServiceConfig {
@@ -72,6 +77,7 @@ impl ServiceConfig {
             queue_capacity: 64,
             block_capacity: 256,
             admission_capacity_bytes: 64 << 20,
+            deferral_depth: 16,
         }
     }
 }
@@ -110,34 +116,62 @@ pub struct QueryOutcome {
     pub latency_micros: u64,
     /// The admission cost charged while the query was in flight.
     pub admitted_cost: u64,
+    /// How the admission gate treated the query at submit time
+    /// (immediate admission or deferral).
+    pub admission: Admission,
+}
+
+/// How a submission got past the admission gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The query's budget fit the free capacity; it launched immediately.
+    Admitted,
+    /// The budget did not fit: the query joined the bounded deferral
+    /// queue at this 0-based position and launches, in FIFO order, as
+    /// running queries drain.
+    Deferred {
+        /// Queries ahead of this one in the deferral queue at submit
+        /// time.
+        position: usize,
+    },
+}
+
+/// A successful [`QueryService::submit`]: the assigned query id plus how
+/// the admission gate treated it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Submission {
+    /// The service-assigned query id.
+    pub qid: u64,
+    /// Immediate admission or deferral.
+    pub admission: Admission,
 }
 
 /// The admission gate: a counting budget over admitted query costs.
 #[derive(Debug)]
-struct Admission {
+struct AdmissionGate {
     inflight: Mutex<u64>,
-    cv: Condvar,
     capacity: u64,
 }
 
-impl Admission {
+impl AdmissionGate {
     fn new(capacity: u64) -> Self {
-        Admission { inflight: Mutex::new(0), cv: Condvar::new(), capacity }
+        AdmissionGate { inflight: Mutex::new(0), capacity }
     }
 
-    /// Block until `cost` fits (an oversized query is admitted alone).
-    fn admit(&self, cost: u64) {
+    /// Charge `cost` if it fits (an oversized query is admitted alone);
+    /// never blocks — a refusal sends the query to the deferral queue.
+    fn try_admit(&self, cost: u64) -> bool {
         let mut inflight = self.inflight.lock().expect("admission mutex poisoned");
-        while *inflight > 0 && *inflight + cost > self.capacity {
-            inflight = self.cv.wait(inflight).expect("admission mutex poisoned");
+        if *inflight > 0 && *inflight + cost > self.capacity {
+            return false;
         }
         *inflight += cost;
+        true
     }
 
     fn release(&self, cost: u64) {
         let mut inflight = self.inflight.lock().expect("admission mutex poisoned");
         *inflight = inflight.saturating_sub(cost);
-        self.cv.notify_all();
     }
 }
 
@@ -226,6 +260,19 @@ struct QueryMeta {
     analysis_path: String,
     cache_hot: bool,
     admitted_cost: u64,
+    admission: Admission,
+}
+
+/// A fully analysed and planned query waiting on the admission gate:
+/// everything [`QueryService`] needs to launch it later, in FIFO order.
+struct PreparedQuery {
+    qid: u64,
+    program: Arc<dyn MpcProgram + Send + Sync>,
+    db: Arc<Database>,
+    domain_size: u64,
+    total_rounds: usize,
+    cost: u64,
+    meta: QueryMeta,
 }
 
 /// One of the `p` shared worker threads.
@@ -522,7 +569,7 @@ fn collector_run(
     p: usize,
     rx: mpsc::Receiver<CollectorMsg>,
     tx: mpsc::Sender<Result<QueryOutcome>>,
-    admission: Arc<Admission>,
+    admission: Arc<AdmissionGate>,
 ) {
     let mut meta: HashMap<u64, QueryMeta> = HashMap::new();
     let mut parts: HashMap<u64, Vec<Option<WorkerDone>>> = HashMap::new();
@@ -604,6 +651,7 @@ fn assemble_outcome(
         planning_micros: m.planning_micros,
         latency_micros: m.started.elapsed().as_micros() as u64,
         admitted_cost: m.admitted_cost,
+        admission: m.admission,
     })
 }
 
@@ -619,7 +667,11 @@ pub struct QueryService {
     collector: Option<std::thread::JoinHandle<()>>,
     collector_tx: Option<mpsc::Sender<CollectorMsg>>,
     outcome_rx: mpsc::Receiver<Result<QueryOutcome>>,
-    admission: Arc<Admission>,
+    admission: Arc<AdmissionGate>,
+    /// Queries the gate could not admit yet, launched FIFO as capacity
+    /// frees up (drained on every `submit` and `next_outcome`).
+    deferred: VecDeque<PreparedQuery>,
+    deferral_depth: usize,
     pool: Arc<BlockPool>,
     block_capacity: usize,
     next_qid: u64,
@@ -645,7 +697,7 @@ impl QueryService {
         let pool = Arc::new(BlockPool::new());
         let (done_tx, done_rx) = mpsc::channel();
         let (outcome_tx, outcome_rx) = mpsc::channel();
-        let admission = Arc::new(Admission::new(cfg.admission_capacity_bytes));
+        let admission = Arc::new(AdmissionGate::new(cfg.admission_capacity_bytes));
         let mut lane_senders = Vec::with_capacity(p);
         let mut receivers = Vec::with_capacity(p);
         for _ in 0..p {
@@ -687,21 +739,64 @@ impl QueryService {
             collector_tx: Some(done_tx),
             outcome_rx,
             admission,
+            deferred: VecDeque::new(),
+            deferral_depth: cfg.deferral_depth,
             pool,
             block_capacity: cfg.block_capacity,
             next_qid: 0,
         })
     }
 
-    /// Analyse, admit and launch one query; returns its service id. The
-    /// call blocks while the admission budget is exhausted and returns as
-    /// soon as the query's input is fully injected — completion arrives
-    /// via [`QueryService::next_outcome`], in completion order.
+    /// Analyse and launch one query; returns its id and how the
+    /// admission gate treated it. When the admission budget is
+    /// exhausted the call never blocks: the query joins a bounded FIFO
+    /// deferral queue ([`Admission::Deferred`]) and launches as running
+    /// queries drain. The call returns as soon as the query's input is
+    /// fully injected (or deferred) — completion arrives via
+    /// [`QueryService::next_outcome`], in completion order.
     ///
     /// # Errors
     ///
-    /// Fails on analysis/planning errors and on a torn-down service.
-    pub fn submit(&mut self, job: &QueryJob) -> Result<u64> {
+    /// Fails on analysis/planning errors, on a torn-down service, and
+    /// with [`NetError::Rejected`] when the deferral queue is already
+    /// [`ServiceConfig::deferral_depth`] deep.
+    pub fn submit(&mut self, job: &QueryJob) -> Result<Submission> {
+        self.drain_deferred()?;
+        let mut prepared = self.prepare(job)?;
+        let qid = prepared.qid;
+        // FIFO fairness: a newcomer may not jump past queued queries
+        // even when its own budget would fit right now.
+        if self.deferred.is_empty() && self.admission.try_admit(prepared.cost) {
+            self.launch(prepared)?;
+            return Ok(Submission { qid, admission: Admission::Admitted });
+        }
+        if self.deferred.len() >= self.deferral_depth {
+            return Err(NetError::Rejected(format!(
+                "admission deferral queue is full ({} queries deep)",
+                self.deferred.len()
+            )));
+        }
+        let admission = Admission::Deferred { position: self.deferred.len() };
+        prepared.meta.admission = admission;
+        self.deferred.push_back(prepared);
+        Ok(Submission { qid, admission })
+    }
+
+    /// Launch every deferred query whose budget now fits, oldest first.
+    fn drain_deferred(&mut self) -> Result<()> {
+        while let Some(front) = self.deferred.front() {
+            if !self.admission.try_admit(front.cost) {
+                return Ok(());
+            }
+            let prepared = self.deferred.pop_front().expect("front just checked");
+            self.launch(prepared)?;
+        }
+        Ok(())
+    }
+
+    /// Analysis + planning: everything up to (but not including) the
+    /// admission decision.
+    fn prepare(&mut self, job: &QueryJob) -> Result<PreparedQuery> {
         let started = Instant::now();
         let analysis = QueryAnalysis::analyze(&job.query)
             .map_err(|e| NetError::Protocol(format!("analysis: {e}")))?;
@@ -727,7 +822,6 @@ impl QueryService {
         let planning_micros = started.elapsed().as_micros() as u64;
         let input_bytes = job.db.total_bytes();
         let budget_bytes = self.config.budget_bytes(input_bytes);
-        self.admission.admit(budget_bytes);
         let qid = self.next_qid;
         self.next_qid += 1;
         let meta = QueryMeta {
@@ -740,7 +834,25 @@ impl QueryService {
             analysis_path: analysis.lp_solver_path.clone(),
             cache_hot: analysis.lp_solver_path == "cache-hit",
             admitted_cost: budget_bytes,
+            admission: Admission::Admitted,
         };
+        Ok(PreparedQuery {
+            qid,
+            program,
+            db: Arc::clone(&job.db),
+            domain_size: job.db.domain_size(),
+            total_rounds,
+            cost: budget_bytes,
+            meta,
+        })
+    }
+
+    /// Inject a prepared (and already admission-charged) query into the
+    /// reactors: metadata to the collector, a `Start` to every worker,
+    /// then the routed input and the round-1 FINs.
+    fn launch(&mut self, prepared: PreparedQuery) -> Result<()> {
+        let PreparedQuery { qid, program, db, domain_size, total_rounds, cost: _, meta } = prepared;
+        let p = self.config.p;
         let send_meta = self
             .collector_tx
             .as_ref()
@@ -755,14 +867,14 @@ impl QueryService {
                 SvcPacket::Start {
                     qid,
                     program: Arc::clone(&program),
-                    domain_size: job.db.domain_size(),
+                    domain_size,
                     rounds: total_rounds,
                 },
             )?;
         }
         // The front-end routes all input itself, preserving the logical
         // input server ids `p + ri` on the blocks.
-        for (ri, rel) in job.db.relations().enumerate() {
+        for (ri, rel) in db.relations().enumerate() {
             let routed = program.route_input(rel, p).map_err(NetError::Sim)?;
             let mut asm =
                 BlockAssembler::new(Arc::clone(&self.pool), self.block_capacity, p + ri, 1);
@@ -790,20 +902,26 @@ impl QueryService {
         for w in 0..p {
             self.frontend_send(w, SvcPacket::Fin { qid, round: 1 })?;
         }
-        Ok(qid)
+        Ok(())
     }
 
-    /// Block until the next query (in completion order) finishes.
+    /// Block until the next query (in completion order) finishes. The
+    /// freed budget immediately launches any deferred queries that now
+    /// fit.
     ///
     /// # Errors
     ///
     /// Returns the query's own failure when one failed, or a service
     /// error when the cluster died.
     pub fn next_outcome(&mut self) -> Result<QueryOutcome> {
-        match self.outcome_rx.recv() {
+        let outcome = match self.outcome_rx.recv() {
             Ok(outcome) => outcome,
             Err(_) => Err(NetError::Protocol("service stopped".to_string())),
-        }
+        };
+        // The collector released the finished query's budget before
+        // reporting it, so deferred queries can launch right away.
+        self.drain_deferred()?;
+        outcome
     }
 
     /// Tear the shared cluster down. In-flight queries are dropped;
@@ -872,7 +990,7 @@ mod tests {
             cluster.run(&program, &db).unwrap()
         };
         let mut svc = QueryService::start(&ServiceConfig::new(p, 0.5)).unwrap();
-        let qid = svc
+        let sub = svc
             .submit(&QueryJob {
                 query: q.clone(),
                 db: Arc::clone(&db),
@@ -880,8 +998,9 @@ mod tests {
                 plan_epsilon: None,
             })
             .unwrap();
+        assert_eq!(sub.admission, Admission::Admitted);
         let outcome = svc.next_outcome().unwrap();
-        assert_eq!(outcome.qid, qid);
+        assert_eq!(outcome.qid, sub.qid);
         assert!(outcome.output.same_tuples(&reference.output), "same output as Cluster::run");
         assert_eq!(outcome.rounds, reference.rounds, "identical per-round statistics");
         assert_eq!(outcome.per_server_output, reference.per_server_output);
@@ -898,10 +1017,12 @@ mod tests {
         let mut svc = QueryService::start(&ServiceConfig::new(p, 0.0)).unwrap();
         let a = svc
             .submit(&QueryJob { query: q1.clone(), db: db1.clone(), seed: 1, plan_epsilon: None })
-            .unwrap();
+            .unwrap()
+            .qid;
         let b = svc
             .submit(&QueryJob { query: q2.clone(), db: db2.clone(), seed: 2, plan_epsilon: None })
-            .unwrap();
+            .unwrap()
+            .qid;
         let mut outcomes = [svc.next_outcome().unwrap(), svc.next_outcome().unwrap()];
         outcomes.sort_by_key(|o| o.qid);
         for (qid, q, db, seed) in [(a, q1, db1, 1), (b, q2, db2, 2)] {
@@ -912,6 +1033,65 @@ mod tests {
             assert!(outcome.output.same_tuples(&reference.output), "query {qid} output");
             assert_eq!(outcome.rounds, reference.rounds, "query {qid} stats");
         }
+        svc.shutdown().unwrap();
+    }
+
+    #[test]
+    fn exhausted_budget_defers_then_launches_in_fifo_order() {
+        let q = families::triangle();
+        // Big enough that the first query is still in flight when the
+        // later ones are submitted (their analyses are cache-hot).
+        let db = Arc::new(matching_database(&q, 3000, 11));
+        let p = 3;
+        // Capacity 1: the first (oversized) query is admitted alone,
+        // everything submitted while it runs defers.
+        let cfg = ServiceConfig { admission_capacity_bytes: 1, ..ServiceConfig::new(p, 0.5) };
+        let mut svc = QueryService::start(&cfg).unwrap();
+        let job =
+            |seed| QueryJob { query: q.clone(), db: Arc::clone(&db), seed, plan_epsilon: None };
+        let first = svc.submit(&job(1)).unwrap();
+        assert_eq!(first.admission, Admission::Admitted);
+        let second = svc.submit(&job(2)).unwrap();
+        let third = svc.submit(&job(3)).unwrap();
+        assert_eq!(second.admission, Admission::Deferred { position: 0 });
+        assert_eq!(third.admission, Admission::Deferred { position: 1 });
+        for (expect_qid, expect_admission) in [
+            (first.qid, Admission::Admitted),
+            (second.qid, Admission::Deferred { position: 0 }),
+            (third.qid, Admission::Deferred { position: 1 }),
+        ] {
+            let outcome = svc.next_outcome().unwrap();
+            assert_eq!(outcome.qid, expect_qid, "queries drain in FIFO order");
+            assert_eq!(outcome.admission, expect_admission, "outcome records the admission");
+        }
+        svc.shutdown().unwrap();
+    }
+
+    #[test]
+    fn full_deferral_queue_rejects_instead_of_blocking() {
+        let q = families::triangle();
+        let db = Arc::new(matching_database(&q, 3000, 13));
+        let cfg = ServiceConfig {
+            admission_capacity_bytes: 1,
+            deferral_depth: 0,
+            ..ServiceConfig::new(3, 0.5)
+        };
+        let mut svc = QueryService::start(&cfg).unwrap();
+        let job =
+            |seed| QueryJob { query: q.clone(), db: Arc::clone(&db), seed, plan_epsilon: None };
+        let first = svc.submit(&job(1)).unwrap();
+        assert_eq!(first.admission, Admission::Admitted);
+        let refused = svc.submit(&job(2));
+        assert!(
+            matches!(refused, Err(NetError::Rejected(_))),
+            "zero-depth deferral queue rejects outright, got {refused:?}"
+        );
+        // Draining the running query frees the budget again.
+        let outcome = svc.next_outcome().unwrap();
+        assert_eq!(outcome.qid, first.qid);
+        let retried = svc.submit(&job(2)).unwrap();
+        assert_eq!(retried.admission, Admission::Admitted);
+        svc.next_outcome().unwrap();
         svc.shutdown().unwrap();
     }
 }

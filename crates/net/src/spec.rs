@@ -155,9 +155,14 @@ impl JobSpec {
 
     /// Parse the wire form back.
     ///
+    /// Unknown keys are **ignored**, by design: the wire form is
+    /// extensible, and newer masters append extra `key=value` lines —
+    /// the [`RecoverySettings`](crate::RecoverySettings) lines, for
+    /// instance — that older workers must be able to skip over.
+    ///
     /// # Errors
     ///
-    /// Fails on unknown keys' absence, malformed numbers or unknown
+    /// Fails on missing required keys, malformed numbers or unknown
     /// program/database kinds.
     pub fn from_wire(wire: &str) -> Result<Self> {
         let mut kv = std::collections::BTreeMap::new();
@@ -321,6 +326,19 @@ mod tests {
         for (ra, rb) in a.db.relations().zip(b.db.relations()) {
             assert!(ra.same_tuples(rb), "regenerated relations identical");
         }
+    }
+
+    #[test]
+    fn unknown_keys_are_ignored_for_forward_compatibility() {
+        // Newer masters append extra lines (e.g. the RecoverySettings
+        // `recovery=`/`checkpoint_every=` pair); parsing must skip what
+        // it does not understand rather than reject the job.
+        let s = spec(ProgramSpec::HyperCube);
+        let wire = format!("{}recovery=1\ncheckpoint_every=2\nfuture_knob=whatever\n", s.to_wire());
+        assert_eq!(JobSpec::from_wire(&wire).unwrap(), s);
+        let settings = crate::RecoverySettings::from_wire(&wire);
+        assert!(settings.enabled, "the recovery lines remain readable from the same wire");
+        assert_eq!(settings.checkpoint_every, 2);
     }
 
     #[test]

@@ -19,17 +19,34 @@
 //! the real backpressure there, and bounding the inbox as well could
 //! deadlock the single reader thread behind a stalled worker. The volume
 //! accounting is identical either way.
+//!
+//! **Recovery note.** With [`RecoverySettings::enabled`] the TCP
+//! transport additionally (a) retains every outbound data frame of the
+//! last `checkpoint_every + 1` rounds in a per-round replay log, (b)
+//! keeps its data listener open on an acceptor thread so a re-spawned
+//! peer can rejoin mid-job (`DataHello` + `ReplayRequest`), replaying the
+//! logged frames onto the fresh socket, and (c) dedups inbound blocks by
+//! the `(from, round)` sequence watermark and inbound FINs by
+//! `(link, round)`, so a recovering peer's re-sent traffic is delivered
+//! exactly once. A dead peer then stalls this worker (waiting for the
+//! master to re-spawn it) instead of aborting the job.
 
-use std::io::{BufReader, BufWriter, Write};
-use std::net::TcpStream;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use mpc_sim::queue::{InboxReceiver, LinkSender, SendAttempt};
-use mpc_sim::{BlockPool, TupleBlock};
+use mpc_sim::{BlockPool, ServerState, TupleBlock};
+use mpc_storage::Relation;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
+use crate::fault::{self, FaultKind};
 use crate::frame::{read_frame, write_frame, Frame};
+use crate::recovery::RecoverySettings;
 use crate::{NetError, Result};
 
 /// A packet between workers — the network mirror of the async backend's
@@ -45,6 +62,11 @@ pub enum NetPacket {
     },
     /// A peer failed; unwind.
     Abort,
+    /// A wake-up marker the rejoin acceptor pushes into its own worker's
+    /// inbox: "a re-spawned peer is waiting, service it". Never crosses
+    /// the wire and never reaches the worker loop — the transport
+    /// swallows it inside `recv`/`try_recv`.
+    Resync,
 }
 
 /// Outcome of a non-blocking transport send.
@@ -83,6 +105,19 @@ pub trait Transport {
     ///
     /// Fails when the job aborted (a worker died or the master is gone).
     fn barrier(&mut self, round: usize) -> Result<()>;
+
+    /// Snapshot `state` as the round-`round` checkpoint if this transport
+    /// checkpoints at all (`last` marks the job's final round, which is
+    /// always checkpointed). The default does nothing — only the spawned
+    /// TCP mode has a master to hold checkpoints.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the checkpoint cannot reach the master.
+    fn checkpoint(&mut self, round: usize, state: &ServerState, last: bool) -> Result<()> {
+        let _ = (round, state, last);
+        Ok(())
+    }
 
     /// Broadcast a fail-fast abort to everyone reachable.
     fn abort(&mut self);
@@ -158,6 +193,44 @@ impl FailFastBarrier {
 /// How long a full in-process link parks before handing the packet back.
 const POLL: Duration = Duration::from_micros(200);
 
+/// The poll interval of the recovery-mode barrier wait and the rejoin
+/// acceptor: short enough to service a rejoining peer promptly.
+const REJOIN_POLL: Duration = Duration::from_millis(10);
+
+/// Hard cap on the exponential dial backoff pause.
+const DIAL_PAUSE_CAP: Duration = Duration::from_millis(250);
+
+/// Connect to `addr`, retrying with capped exponential backoff plus
+/// seeded jitter until `deadline` has elapsed — so a slow-starting peer
+/// (or a master still binding its listener) does not kill the job, and
+/// simultaneous retriers do not stampede in lockstep.
+///
+/// # Errors
+///
+/// Returns the last connect error once the deadline passes.
+pub fn dial_with_backoff(addr: &str, deadline: Duration, seed: u64) -> Result<TcpStream> {
+    let start = Instant::now();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD1A1_B0FF);
+    let mut pause = Duration::from_millis(2);
+    let mut attempts = 0u32;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                attempts += 1;
+                if start.elapsed() >= deadline {
+                    return Err(NetError::Protocol(format!(
+                        "dial {addr} failed after {attempts} attempts over {deadline:?}: {e}"
+                    )));
+                }
+                let jitter_us = rng.gen_range(0..=pause.as_micros() as u64 / 2 + 1);
+                std::thread::sleep(pause + Duration::from_micros(jitter_us));
+                pause = (pause * 2).min(DIAL_PAUSE_CAP);
+            }
+        }
+    }
+}
+
 /// The channel transport: per-peer bounded lanes plus a shared fail-fast
 /// barrier, all inside one process.
 #[derive(Debug)]
@@ -209,6 +282,49 @@ impl Transport for InProcTransport {
     }
 }
 
+/// Inbound dedup state shared by every pump thread of one transport:
+/// per-`(from, round)` sequence watermarks for blocks (the assembler's
+/// seq is monotone per sender and round, so `seq <= watermark` means
+/// "already delivered") and the set of `(link, round)` FINs already
+/// counted. Only consulted in recovery mode.
+#[derive(Debug, Default)]
+struct Dedup {
+    block_watermark: HashMap<(usize, usize), u64>,
+    fins_seen: HashSet<(usize, usize)>,
+}
+
+/// One re-spawned peer waiting to be wired back into the mesh.
+struct Rejoin {
+    from: usize,
+    from_round: usize,
+    stream: TcpStream,
+}
+
+/// The acceptor-to-worker rejoin mailbox.
+struct RejoinShared {
+    queue: Mutex<Vec<Rejoin>>,
+    pending: AtomicBool,
+}
+
+/// The endpoints a freshly meshed worker hands to [`TcpTransport::new`].
+pub struct TcpEndpoints {
+    /// This worker's server id.
+    pub id: usize,
+    /// Cluster size.
+    pub p: usize,
+    /// `outbound[dest]` — a connected data stream to each peer (`None`
+    /// at `dest == id`, and everywhere for a worker past its last round).
+    pub outbound: Vec<Option<TcpStream>>,
+    /// Accepted data streams, each paired with the sending server's id
+    /// (from its `DataHello`).
+    pub inbound: Vec<(usize, TcpStream)>,
+    /// The control stream to the master (`Ready`/`Proceed` barriers).
+    pub control: TcpStream,
+    /// The worker's data listener, kept open for rejoining peers when
+    /// recovery is enabled (`None` disables rejoin accepting).
+    pub listener: Option<TcpListener>,
+}
+
 /// The socket transport: one outbound TCP stream per peer, reader threads
 /// feeding the inbox, and a control stream to the master for barriers.
 pub struct TcpTransport {
@@ -222,6 +338,22 @@ pub struct TcpTransport {
     control: BufReader<TcpStream>,
     aborted: Arc<AtomicBool>,
     scratch: Vec<u8>,
+    pool: Arc<BlockPool>,
+    recovery: RecoverySettings,
+    /// `down[dest]`: the peer's socket died but the master may re-spawn
+    /// it — sends are logged (for replay) instead of failing.
+    down: Vec<bool>,
+    /// Replay log: per round, the encoded outbound data frames in send
+    /// order, each tagged with its destination. Bounded to the last
+    /// `checkpoint_every + 1` rounds (pruned at each barrier).
+    log: BTreeMap<usize, Vec<(usize, Vec<u8>)>>,
+    /// Inbound lanes, retained in recovery mode so pumps for rejoining
+    /// peers can be spawned and the acceptor can wake a blocked `recv`.
+    senders: Vec<LinkSender<NetPacket>>,
+    dedup: Arc<Mutex<Dedup>>,
+    rejoins: Option<Arc<RejoinShared>>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    acceptor_stop: Arc<AtomicBool>,
 }
 
 impl std::fmt::Debug for TcpTransport {
@@ -232,33 +364,59 @@ impl std::fmt::Debug for TcpTransport {
 
 /// Pump one inbound data connection: decode frames, push packets into the
 /// owning worker's inbox. Exits on EOF, socket error or receiver drop.
-fn pump_reader(
-    stream: TcpStream,
-    lane: LinkSender<NetPacket>,
+///
+/// In recovery mode a socket error is a *silent* exit (the master will
+/// notice the dead process and re-spawn it; aborting here would kill the
+/// job recovery exists to save), and duplicate blocks/FINs — a recovered
+/// peer re-sending the in-flight round — are dropped via the shared
+/// dedup state. Frame decode errors (a corrupt stream) stay fatal.
+struct PumpShared {
     pool: Arc<BlockPool>,
     aborted: Arc<AtomicBool>,
-) {
+    dedup: Arc<Mutex<Dedup>>,
+    recovery: bool,
+}
+
+fn pump_reader(stream: TcpStream, from: usize, lane: LinkSender<NetPacket>, sh: Arc<PumpShared>) {
     let mut r = BufReader::new(stream);
     loop {
-        match read_frame(&mut r, &pool) {
+        match read_frame(&mut r, &sh.pool) {
             Ok(Frame::Block(b)) => {
+                if sh.recovery {
+                    let mut d = sh.dedup.lock().expect("dedup lock");
+                    let key = (b.from, b.round);
+                    if d.block_watermark.get(&key).is_some_and(|&w| b.seq <= w) {
+                        sh.pool.give_back(b.into_columns());
+                        continue;
+                    }
+                    d.block_watermark.insert(key, b.seq);
+                }
                 if lane.force_send(NetPacket::Block(b)).is_err() {
                     return;
                 }
             }
             Ok(Frame::Fin { round }) => {
-                if lane.force_send(NetPacket::Fin { round: round as usize }).is_err() {
+                let round = round as usize;
+                if sh.recovery
+                    && !sh.dedup.lock().expect("dedup lock").fins_seen.insert((from, round))
+                {
+                    continue;
+                }
+                if lane.force_send(NetPacket::Fin { round }).is_err() {
                     return;
                 }
             }
+            Ok(Frame::ReplayData { .. }) => {
+                // A replay header from a surviving peer: informational.
+            }
             Ok(Frame::Abort { .. }) => {
-                aborted.store(true, Ordering::SeqCst);
+                sh.aborted.store(true, Ordering::SeqCst);
                 let _ = lane.force_send(NetPacket::Abort);
                 return;
             }
             Ok(_) => {
                 // A data socket carries only blocks, FINs and aborts.
-                aborted.store(true, Ordering::SeqCst);
+                sh.aborted.store(true, Ordering::SeqCst);
                 let _ = lane.force_send(NetPacket::Abort);
                 return;
             }
@@ -266,9 +424,15 @@ fn pump_reader(
                 // Clean close after the peer finished sending.
                 return;
             }
+            Err(NetError::Io(_)) if sh.recovery => {
+                // The peer process died mid-stream. Recovery is on: leave
+                // the abort to the master's liveness poll and wait for
+                // the replacement to rejoin.
+                return;
+            }
             Err(_) => {
                 // A dead or corrupt peer: fail the local worker fast.
-                aborted.store(true, Ordering::SeqCst);
+                sh.aborted.store(true, Ordering::SeqCst);
                 let _ = lane.force_send(NetPacket::Abort);
                 return;
             }
@@ -276,37 +440,89 @@ fn pump_reader(
     }
 }
 
+/// Poll `listener` for re-spawned peers dialing back in. Each rejoin
+/// socket starts with `DataHello{from}` + `ReplayRequest{from_round}`;
+/// the pair is queued for the worker thread (which owns the writers and
+/// the replay log) and a `Resync` marker is forced into the worker's own
+/// inbox lane to wake a blocked `recv`.
+fn accept_rejoins(
+    listener: TcpListener,
+    p: usize,
+    stop: Arc<AtomicBool>,
+    shared: Arc<RejoinShared>,
+    wake: LinkSender<NetPacket>,
+) {
+    let pool = BlockPool::new();
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    while !stop.load(Ordering::SeqCst) {
+        let (mut stream, _) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(REJOIN_POLL);
+                continue;
+            }
+            Err(_) => return,
+        };
+        if stream.set_nonblocking(false).is_err() {
+            continue;
+        }
+        stream.set_nodelay(true).ok();
+        let from = match read_frame(&mut stream, &pool) {
+            Ok(Frame::DataHello { from }) => from as usize,
+            _ => continue,
+        };
+        let from_round = match read_frame(&mut stream, &pool) {
+            Ok(Frame::ReplayRequest { from_round }) => from_round as usize,
+            _ => continue,
+        };
+        if from >= p {
+            continue;
+        }
+        shared.queue.lock().expect("rejoin queue lock").push(Rejoin { from, from_round, stream });
+        shared.pending.store(true, Ordering::SeqCst);
+        if wake.force_send(NetPacket::Resync).is_err() {
+            return;
+        }
+    }
+}
+
 impl TcpTransport {
-    /// Assemble worker `id`'s transport.
+    /// Assemble worker `ep.id`'s transport from its meshed endpoints.
+    /// With `recovery.enabled` the data listener (if provided) keeps
+    /// accepting rejoining peers and outbound frames are retained for
+    /// replay; otherwise the transport is the original fail-fast fabric.
     ///
-    /// * `outbound[dest]` — a connected data stream to each peer
-    ///   (`None` at `dest == id`).
-    /// * `inbound` — accepted data streams, each paired with the sending
-    ///   server's id (from its `DataHello`).
-    /// * `control` — the stream to the master, used for `Ready`/`Proceed`
-    ///   barriers.
+    /// # Errors
+    ///
+    /// Fails on malformed endpoint tables.
     pub fn new(
-        id: usize,
-        p: usize,
-        outbound: Vec<Option<TcpStream>>,
-        inbound: Vec<(usize, TcpStream)>,
-        control: TcpStream,
+        ep: TcpEndpoints,
         pool: Arc<BlockPool>,
         queue_capacity: usize,
+        recovery: RecoverySettings,
     ) -> Result<Self> {
+        let TcpEndpoints { id, p, outbound, inbound, control, listener } = ep;
         let (senders, rx) = mpc_sim::queue::Inbox::channel(p, queue_capacity);
         let aborted = Arc::new(AtomicBool::new(false));
+        let dedup = Arc::new(Mutex::new(Dedup::default()));
+        let pump_shared = Arc::new(PumpShared {
+            pool: Arc::clone(&pool),
+            aborted: Arc::clone(&aborted),
+            dedup: Arc::clone(&dedup),
+            recovery: recovery.enabled,
+        });
         let mut readers = Vec::with_capacity(inbound.len());
         for (from, stream) in inbound {
             if from >= p {
                 return Err(NetError::Protocol(format!("data hello from bad peer {from}")));
             }
             let lane = senders[from].clone();
-            let pool = Arc::clone(&pool);
-            let aborted = Arc::clone(&aborted);
-            readers.push(std::thread::spawn(move || pump_reader(stream, lane, pool, aborted)));
+            let sh = Arc::clone(&pump_shared);
+            readers.push(std::thread::spawn(move || pump_reader(stream, from, lane, sh)));
         }
-        let writers = outbound
+        let writers: Vec<Option<BufWriter<TcpStream>>> = outbound
             .into_iter()
             .map(|s| {
                 s.map(|s| {
@@ -315,6 +531,22 @@ impl TcpTransport {
                 })
             })
             .collect();
+        let acceptor_stop = Arc::new(AtomicBool::new(false));
+        let (rejoins, acceptor) = match listener.filter(|_| recovery.enabled) {
+            Some(listener) => {
+                let shared = Arc::new(RejoinShared {
+                    queue: Mutex::new(Vec::new()),
+                    pending: AtomicBool::new(false),
+                });
+                let stop = Arc::clone(&acceptor_stop);
+                let mailbox = Arc::clone(&shared);
+                let wake = senders[id].clone();
+                let h =
+                    std::thread::spawn(move || accept_rejoins(listener, p, stop, mailbox, wake));
+                (Some(shared), Some(h))
+            }
+            None => (None, None),
+        };
         Ok(TcpTransport {
             id,
             writers,
@@ -323,6 +555,15 @@ impl TcpTransport {
             control: BufReader::new(control),
             aborted,
             scratch: Vec::new(),
+            pool,
+            recovery,
+            down: vec![false; p],
+            log: BTreeMap::new(),
+            senders: if recovery.enabled { senders } else { Vec::new() },
+            dedup,
+            rejoins,
+            acceptor,
+            acceptor_stop,
         })
     }
 
@@ -335,10 +576,20 @@ impl TcpTransport {
         Ok(())
     }
 
-    /// Flush every outbound data stream (called at FIN boundaries).
+    /// Flush every outbound data stream (called at FIN boundaries). In
+    /// recovery mode a flush error marks the peer down instead of failing
+    /// the round — its frames live in the replay log.
     fn flush_all(&mut self) -> Result<()> {
-        for w in self.writers.iter_mut().flatten() {
-            w.flush()?;
+        for dest in 0..self.writers.len() {
+            let Some(w) = self.writers[dest].as_mut() else { continue };
+            if let Err(e) = w.flush() {
+                if self.recovery.enabled {
+                    self.writers[dest] = None;
+                    self.down[dest] = true;
+                } else {
+                    return Err(e.into());
+                }
+            }
         }
         Ok(())
     }
@@ -349,7 +600,8 @@ impl TcpTransport {
     }
 
     /// Send a frame to the master over the control stream (used by the
-    /// spawned worker for its end-of-job `Summary`).
+    /// spawned worker for its end-of-job `Summary` and its round
+    /// checkpoints).
     ///
     /// # Errors
     ///
@@ -372,6 +624,66 @@ impl TcpTransport {
         read_frame(&mut self.control, &pool)
     }
 
+    /// Wire every queued re-spawned peer back into the mesh: install its
+    /// fresh socket as the outbound writer, replay the logged frames of
+    /// every round past its restored checkpoint (prefixed by a
+    /// `ReplayData` header per round), and spawn a pump for its inbound
+    /// traffic. Best-effort: a peer that died *again* is simply marked
+    /// down and left to the master's next recovery round.
+    fn service_rejoins(&mut self) {
+        let Some(shared) = &self.rejoins else { return };
+        if !shared.pending.swap(false, Ordering::SeqCst) {
+            return;
+        }
+        let pending: Vec<Rejoin> =
+            shared.queue.lock().expect("rejoin queue lock").drain(..).collect();
+        for rj in pending {
+            let Ok(write_half) = rj.stream.try_clone() else {
+                self.down[rj.from] = true;
+                continue;
+            };
+            let mut w = BufWriter::new(write_half);
+            let mut buf = Vec::new();
+            let mut ok = true;
+            'replay: for (&round, frames) in self.log.range(rj.from_round + 1..) {
+                let for_peer = frames.iter().filter(|(d, _)| *d == rj.from);
+                let count = for_peer.clone().count();
+                if count == 0 {
+                    continue;
+                }
+                crate::frame::encode_frame(
+                    &Frame::ReplayData { round: round as u32, frames: count as u32 },
+                    &mut buf,
+                );
+                if w.write_all(&buf).is_err() {
+                    ok = false;
+                    break;
+                }
+                for (_, bytes) in for_peer {
+                    if w.write_all(bytes).is_err() {
+                        ok = false;
+                        break 'replay;
+                    }
+                }
+            }
+            if !ok || w.flush().is_err() {
+                self.down[rj.from] = true;
+                continue;
+            }
+            self.writers[rj.from] = Some(w);
+            self.down[rj.from] = false;
+            let lane = self.senders[rj.from].clone();
+            let sh = Arc::new(PumpShared {
+                pool: Arc::clone(&self.pool),
+                aborted: Arc::clone(&self.aborted),
+                dedup: Arc::clone(&self.dedup),
+                recovery: true,
+            });
+            let from = rj.from;
+            self.readers.push(std::thread::spawn(move || pump_reader(rj.stream, from, lane, sh)));
+        }
+    }
+
     /// Close outbound data streams and join the reader threads — the
     /// clean end-of-job teardown.
     ///
@@ -380,6 +692,10 @@ impl TcpTransport {
     /// would never send a FIN; the peer's reader would block forever. An
     /// explicit write-half shutdown delivers the EOF.
     pub fn shutdown(mut self) {
+        self.acceptor_stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
         for w in &mut self.writers {
             if let Some(writer) = w {
                 let _ = writer.flush();
@@ -387,6 +703,9 @@ impl TcpTransport {
             }
             *w = None;
         }
+        // Pumps for rejoin sockets hold clones of our lanes; drop ours so
+        // EOF (not a hang) ends them, then reap every reader.
+        self.senders.clear();
         for h in self.readers.drain(..) {
             let _ = h.join();
         }
@@ -398,18 +717,72 @@ impl Transport for TcpTransport {
         if self.aborted.load(Ordering::SeqCst) {
             return SendOutcome::Closed;
         }
-        let frame = match pkt {
-            NetPacket::Block(b) => Frame::Block(b),
-            NetPacket::Fin { round } => Frame::Fin { round: round as u32 },
-            NetPacket::Abort => Frame::Abort { reason: format!("worker {} aborted", self.id) },
+        self.service_rejoins();
+        let (frame, round) = match pkt {
+            NetPacket::Block(b) => {
+                let r = b.round;
+                (Frame::Block(b), Some(r))
+            }
+            NetPacket::Fin { round } => (Frame::Fin { round: round as u32 }, Some(round)),
+            NetPacket::Abort => {
+                (Frame::Abort { reason: format!("worker {} aborted", self.id) }, None)
+            }
+            // Resync markers are transport-internal and never leave the
+            // process.
+            NetPacket::Resync => return SendOutcome::Sent,
         };
-        match self.write_to(dest, &frame) {
+        // Deterministic link faults (drop is fatal by design; corrupt is
+        // detected by the receiver's decoder and fails the job).
+        let mut corrupt = false;
+        if let Some(r) = round {
+            match fault::link_fault(self.id as u32, r as u32, dest as u32) {
+                Some(FaultKind::DropLink { .. }) => {
+                    self.writers[dest] = None;
+                    return SendOutcome::Closed;
+                }
+                Some(FaultKind::CorruptLink { .. }) => corrupt = true,
+                _ => {}
+            }
+        }
+        crate::frame::encode_frame(&frame, &mut self.scratch);
+        if self.recovery.enabled {
+            if let Some(r) = round {
+                self.log.entry(r).or_default().push((dest, self.scratch.clone()));
+            }
+        }
+        if self.down[dest] && round.is_some() {
+            // The peer is being re-spawned: the frame is in the replay
+            // log and will be retransmitted when it rejoins.
+            return SendOutcome::Sent;
+        }
+        if corrupt {
+            // Flip the kind byte (right after the length prefix): the
+            // receiver rejects the frame as an unknown kind.
+            self.scratch[4] ^= 0xFF;
+        }
+        let flush_needed = matches!(frame, Frame::Fin { .. } | Frame::Abort { .. });
+        let Some(w) = self.writers.get_mut(dest).and_then(|w| w.as_mut()) else {
+            return if self.recovery.enabled && round.is_some() {
+                self.down[dest] = true;
+                SendOutcome::Sent
+            } else {
+                SendOutcome::Closed
+            };
+        };
+        let wrote = w.write_all(&self.scratch);
+        match wrote {
             Ok(()) => {
                 // FINs mark the end of a burst: push everything out so the
                 // peer's round can complete without waiting on our buffer.
-                if matches!(frame, Frame::Fin { .. } | Frame::Abort { .. })
-                    && self.flush_all().is_err()
-                {
+                if flush_needed && self.flush_all().is_err() {
+                    return SendOutcome::Closed;
+                }
+                SendOutcome::Sent
+            }
+            Err(_) if self.recovery.enabled && round.is_some() => {
+                self.writers[dest] = None;
+                self.down[dest] = true;
+                if flush_needed && self.flush_all().is_err() {
                     return SendOutcome::Closed;
                 }
                 SendOutcome::Sent
@@ -419,11 +792,26 @@ impl Transport for TcpTransport {
     }
 
     fn recv(&mut self, buf: &mut Vec<NetPacket>) -> Result<usize> {
-        Ok(self.rx.recv_many(buf))
+        let base = buf.len();
+        loop {
+            self.service_rejoins();
+            let got = self.rx.recv_many(buf);
+            buf.retain(|p| !matches!(p, NetPacket::Resync));
+            if buf.len() > base {
+                return Ok(buf.len() - base);
+            }
+            if got == 0 {
+                return Ok(0);
+            }
+        }
     }
 
     fn try_recv(&mut self, buf: &mut Vec<NetPacket>) -> usize {
-        self.rx.try_recv_many(buf)
+        self.service_rejoins();
+        let base = buf.len();
+        self.rx.try_recv_many(buf);
+        buf.retain(|p| !matches!(p, NetPacket::Resync));
+        buf.len() - base
     }
 
     fn barrier(&mut self, round: usize) -> Result<()> {
@@ -435,8 +823,48 @@ impl Transport for TcpTransport {
         write_frame(self.control.get_mut(), &Frame::Ready { round: round as u32 })?;
         self.control.get_mut().flush()?;
         let pool = BlockPool::new();
-        match read_frame(&mut self.control, &pool)? {
-            Frame::Proceed { round: r } if r as usize == round => Ok(()),
+        let reply = if self.recovery.enabled {
+            // Poll instead of blocking: a peer's replacement may rejoin
+            // while we are parked here, and it needs its replay to make
+            // progress before the barrier can ever release.
+            loop {
+                self.service_rejoins();
+                self.control.get_ref().set_read_timeout(Some(REJOIN_POLL))?;
+                let available = match self.control.fill_buf() {
+                    Ok([]) => {
+                        self.control.get_ref().set_read_timeout(None).ok();
+                        return Err(NetError::Protocol("master closed the control stream".into()));
+                    }
+                    Ok(_) => true,
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        false
+                    }
+                    Err(e) => {
+                        self.control.get_ref().set_read_timeout(None).ok();
+                        return Err(e.into());
+                    }
+                };
+                if available {
+                    self.control.get_ref().set_read_timeout(None)?;
+                    break read_frame(&mut self.control, &pool)?;
+                }
+            }
+        } else {
+            read_frame(&mut self.control, &pool)?
+        };
+        match reply {
+            Frame::Proceed { round: r } if r as usize == round => {
+                if self.recovery.enabled {
+                    // Prune the replay log: a rejoiner restores from a
+                    // checkpoint at most `checkpoint_every` rounds back.
+                    let keep_from = (round + 1).saturating_sub(self.recovery.replay_rounds());
+                    self.log = self.log.split_off(&keep_from);
+                }
+                Ok(())
+            }
             Frame::Proceed { round: r } => Err(NetError::Protocol(format!(
                 "barrier skew: waiting on round {round}, master proceeded {r}"
             ))),
@@ -448,6 +876,23 @@ impl Transport for TcpTransport {
                 Err(NetError::Protocol(format!("unexpected control frame at barrier: {other:?}")))
             }
         }
+    }
+
+    fn checkpoint(&mut self, round: usize, state: &ServerState, last: bool) -> Result<()> {
+        if !self.recovery.enabled {
+            return Ok(());
+        }
+        if !round.is_multiple_of(self.recovery.checkpoint_every) && !last {
+            return Ok(());
+        }
+        let (per_round_bytes, per_round_tuples) = state.received_volumes(round);
+        let relations: Vec<Relation> = state.relations().cloned().collect();
+        self.send_control(&Frame::Checkpoint {
+            round: round as u32,
+            relations,
+            per_round_bytes,
+            per_round_tuples,
+        })
     }
 
     fn abort(&mut self) {
@@ -505,5 +950,35 @@ mod tests {
         assert_eq!(t0.recv(&mut got).unwrap(), 1);
         assert!(matches!(got[0], NetPacket::Fin { round: 1 }));
         assert!(t1.barrier(1).is_ok(), "single-party barrier trivially passes");
+    }
+
+    #[test]
+    fn dial_with_backoff_reaches_a_late_listener() {
+        // Reserve a port, close it, and only re-bind after a delay: the
+        // first dial attempts must fail, the backoff must retry through.
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+        let binder = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(60));
+            TcpListener::bind(addr).unwrap().accept().map(|_| ()).unwrap();
+        });
+        let stream = dial_with_backoff(&addr.to_string(), Duration::from_secs(10), 7)
+            .expect("backoff outlives the late bind");
+        drop(stream);
+        binder.join().unwrap();
+    }
+
+    #[test]
+    fn dial_with_backoff_gives_up_after_the_deadline() {
+        // A port with (very likely) nothing behind it.
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap().to_string();
+        drop(probe);
+        let start = Instant::now();
+        let err = dial_with_backoff(&addr, Duration::from_millis(80), 1)
+            .expect_err("nothing is listening");
+        assert!(start.elapsed() >= Duration::from_millis(80));
+        assert!(err.to_string().contains("attempts"), "error names the retry count: {err}");
     }
 }

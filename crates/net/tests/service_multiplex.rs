@@ -32,7 +32,7 @@ fn six_concurrent_queries_multiplex_without_interference() {
     let mut svc = QueryService::start(&ServiceConfig::new(p, 0.5)).unwrap();
     let mut qids = Vec::new();
     for ((q, _, seed), db) in jobs.iter().zip(&dbs) {
-        let qid = svc
+        let sub = svc
             .submit(&QueryJob {
                 query: q.clone(),
                 db: Arc::clone(db),
@@ -40,7 +40,7 @@ fn six_concurrent_queries_multiplex_without_interference() {
                 plan_epsilon: None,
             })
             .unwrap();
-        qids.push(qid);
+        qids.push(sub.qid);
     }
     assert_eq!(qids.len(), 6, "all six admitted while none had completed");
 
@@ -112,7 +112,8 @@ fn mixed_round_counts_interleave_cleanly() {
             seed: 1,
             plan_epsilon: Some(mpc_lp::Rational::ZERO),
         })
-        .unwrap();
+        .unwrap()
+        .qid;
     let b = svc
         .submit(&QueryJob {
             query: hc_q.clone(),
@@ -120,7 +121,8 @@ fn mixed_round_counts_interleave_cleanly() {
             seed: 2,
             plan_epsilon: None,
         })
-        .unwrap();
+        .unwrap()
+        .qid;
     let mut outcomes = [svc.next_outcome().unwrap(), svc.next_outcome().unwrap()];
     svc.shutdown().unwrap();
     outcomes.sort_by_key(|o| o.qid);
