@@ -11,6 +11,7 @@ use crate::multiround::lower_bound::round_lower_bound;
 use crate::multiround::planner::{round_upper_bound, MultiRoundPlan};
 use crate::output_sensitive::OutputSensitiveBounds;
 use crate::shares::ShareAllocation;
+use crate::wco::{PlannerChoice, WcoLoadPrediction, WorstCaseOptimalPlan};
 use crate::Result;
 
 /// Round bounds of a query at a particular space exponent ε.
@@ -186,6 +187,60 @@ impl QueryAnalysis {
         n: u64,
     ) -> Result<PlanLoadPrediction> {
         MultiRoundPlan::build(&self.query, epsilon)?.predict_loads(p, n)
+    }
+
+    /// The strategy picker: which planner should run this query at space
+    /// exponent `epsilon`, given whether the data is skewed (heavy
+    /// hitters above the share threshold).
+    ///
+    /// | data      | tree-like, 1 round | tree-like, deep | cyclic |
+    /// |-----------|--------------------|-----------------|--------|
+    /// | skew-free | HyperCube          | multi-round     | HyperCube / multi-round |
+    /// | skewed    | skew-resilient     | multi-round     | **worst-case optimal**  |
+    ///
+    /// Skew-free data never needs the heavy machinery (the HyperCube is
+    /// already optimal there, Proposition 3.2); skewed tree-like queries
+    /// are handled by the one-round residual plans of `mpc-skew` or the
+    /// multi-round `Γ^r_ε` plan; skewed *cyclic* queries are where the
+    /// one-round load provably degrades to `n/p^{1/2}`-style bounds and
+    /// the BKS 2018 heavy/light strategy ([`WorstCaseOptimalPlan`]) wins.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning and LP errors.
+    pub fn planner_choice(&self, epsilon: Rational, skewed: bool) -> Result<PlannerChoice> {
+        let depth = MultiRoundPlan::build(&self.query, epsilon)?.num_rounds();
+        Ok(if !skewed {
+            if depth == 1 {
+                PlannerChoice::OneRoundHyperCube
+            } else {
+                PlannerChoice::MultiRound
+            }
+        } else if self.is_tree_like {
+            if depth == 1 {
+                PlannerChoice::OneRoundSkewResilient
+            } else {
+                PlannerChoice::MultiRound
+            }
+        } else {
+            PlannerChoice::WorstCaseOptimal
+        })
+    }
+
+    /// Plan the query worst-case optimally against `db` on `p` servers
+    /// and predict the per-round per-server loads (the WCO counterpart
+    /// of [`QueryAnalysis::round_load_profile`]; exact masses, not
+    /// matching estimates).
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning and LP errors; rejects `p = 0`.
+    pub fn wco_load_profile(
+        &self,
+        db: &mpc_storage::Database,
+        p: usize,
+    ) -> Result<WcoLoadPrediction> {
+        WcoLoadPrediction::predict(&WorstCaseOptimalPlan::build(&self.query, db, p)?)
     }
 
     /// Human-readable one-line summary (used by the table binaries).

@@ -26,6 +26,12 @@
 //! * [`output_sensitive`] — the journal version's output-sensitive load
 //!   bounds parameterised by `(n, m, p)` (arXiv:1602.06236), with exact
 //!   rational exponents read off the LP duals.
+//! * [`wco`] — the **worst-case optimal** multi-round strategy of BKS
+//!   2018 (arXiv:1604.01848): heavy/light split by degree threshold,
+//!   broadcast-join rounds for the heavy patterns, the skew-free
+//!   HyperCube for the light side — load `Õ(n/p^{1/ρ*})` on *every*
+//!   database in O(1) rounds, beating the one-round `n/p^{1/τ*}` on
+//!   cycles and cliques.
 //! * [`analysis`] — the one-stop [`analysis::QueryAnalysis`] report used by
 //!   the Table 1 / Table 2 reproduction binaries.
 //!
@@ -58,6 +64,7 @@ pub mod multiround;
 pub mod output_sensitive;
 pub mod shares;
 pub mod space_exponent;
+pub mod wco;
 
 pub use error::CoreError;
 
@@ -74,6 +81,7 @@ pub mod prelude {
     pub use crate::output_sensitive::OutputSensitiveBounds;
     pub use crate::shares::ShareAllocation;
     pub use crate::space_exponent::{gamma_one_contains, space_exponent};
+    pub use crate::wco::{PlannerChoice, WcoLoadPrediction, WcoProgram, WorstCaseOptimalPlan};
     pub use mpc_lp::Rational;
     pub use mpc_sim::{Cluster, MpcConfig};
 }

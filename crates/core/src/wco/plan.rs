@@ -1,0 +1,703 @@
+//! The worst-case optimal plan: degree statistics, heavy patterns and
+//! server-group carving.
+//!
+//! Planning consumes the database *statistics* (degree histograms), never
+//! the data at routing time: everything a router needs — heavy value
+//! lists, group offsets, share vectors — is frozen into the plan, so
+//! destinations remain a pure function of `(tag, tuple, round)` as the
+//! tuple-based MPC model requires, and every process planning from the
+//! same `(query, database, p)` builds bit-identical routing.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mpc_cq::{Atom, Query, VarId};
+use mpc_lp::{QueryLps, Rational};
+use mpc_storage::{Database, Tuple, Value};
+
+use crate::error::CoreError;
+use crate::multiround::lower_bound::round_lower_bound;
+use crate::shares::ShareAllocation;
+use crate::wco::effective_epsilon;
+use crate::Result;
+
+/// The per-variable heavy value lists a plan is keyed on: value `v` is
+/// heavy at variable `x` when its degree at some occurrence of `x`
+/// exceeds `|R| / p_x` for that atom's relation `R` and `x`'s cover-based
+/// share `p_x` (so variables the HyperCube does not balance on — share 1
+/// — have no heavy values: their skew never concentrates load).
+#[derive(Debug, Clone, Default)]
+pub struct HeavyValues {
+    /// Sorted heavy values, indexed by `VarId`.
+    values: Vec<Vec<Value>>,
+}
+
+impl HeavyValues {
+    /// No heavy values for `k` variables.
+    pub fn none(k: usize) -> Self {
+        HeavyValues { values: vec![Vec::new(); k] }
+    }
+
+    /// The sorted heavy values of a variable.
+    pub fn of(&self, var: VarId) -> &[Value] {
+        &self.values[var.0]
+    }
+
+    /// Is `value` heavy at `var`?
+    pub fn is_heavy(&self, var: VarId, value: Value) -> bool {
+        self.values[var.0].binary_search(&value).is_ok()
+    }
+
+    /// The index of a heavy value in its variable's sorted list (the
+    /// value-indexed grid coordinate before the modulus).
+    pub fn index_of(&self, var: VarId, value: Value) -> Option<usize> {
+        self.values[var.0].binary_search(&value).ok()
+    }
+
+    /// Number of heavy values at `var`.
+    pub fn count(&self, var: VarId) -> usize {
+        self.values[var.0].len()
+    }
+
+    /// Variables with at least one heavy value, ascending.
+    pub fn heavy_vars(&self) -> Vec<VarId> {
+        (0..self.values.len()).filter(|i| !self.values[*i].is_empty()).map(VarId).collect()
+    }
+
+    /// Drop the heavy values of `var` (demote it to light).
+    fn demote(&mut self, var: VarId) {
+        self.values[var.0].clear();
+    }
+
+    /// The heavy pattern of one tuple of `atom`: the atom's variables
+    /// whose value is heavy. `None` for tuples that disagree on a
+    /// repeated variable (they can never contribute to an answer).
+    pub fn pattern_of(&self, atom: &Atom, tuple: &Tuple) -> Option<BTreeSet<VarId>> {
+        let mut pattern = BTreeSet::new();
+        let mut seen: BTreeMap<VarId, Value> = BTreeMap::new();
+        for (pos, var) in atom.vars.iter().enumerate() {
+            let value = tuple.values()[pos];
+            match seen.insert(*var, value) {
+                Some(prev) if prev != value => return None,
+                _ => {}
+            }
+            if self.is_heavy(*var, value) {
+                pattern.insert(*var);
+            }
+        }
+        Some(pattern)
+    }
+}
+
+/// One pattern group of the plan: the servers and shares dedicated to the
+/// answers whose heavy configuration is exactly
+/// [`WcoPattern::heavy_vars`]. Index 0 is always the light pattern
+/// (`heavy_vars = ∅`, the skew-free HyperCube).
+#[derive(Debug, Clone)]
+pub struct WcoPattern {
+    /// The variables fixed to heavy values (`∅` = the light pattern).
+    pub heavy_vars: BTreeSet<VarId>,
+    /// Full-width share vector over the query's variables. Heavy
+    /// variables are *value-indexed* dimensions (coordinate = heavy rank
+    /// mod share); light variables are hashed; the product is ≤
+    /// [`WcoPattern::group_size`].
+    pub shares: Vec<usize>,
+    /// First server (global index) of this pattern's grid.
+    pub offset: usize,
+    /// Servers granted to the pattern (`cells() ≤ group_size`).
+    pub group_size: usize,
+    /// Exact tuples each atom routes into this grid (before replication),
+    /// in atom order — read off the planning scan, not estimated.
+    pub atom_tuples: Vec<u64>,
+    /// The fractional edge-cover value `ρ*` of the residual query (heavy
+    /// variables deleted); `None` when every variable is heavy and the
+    /// residual is a pure filter. This is the AGM exponent the group's
+    /// load target `n_H / u^{1/ρ*_H}` is read from.
+    pub residual_rho_star: Option<Rational>,
+}
+
+impl WcoPattern {
+    /// Number of grid cells, `∏ shares`.
+    pub fn cells(&self) -> usize {
+        self.shares.iter().product()
+    }
+
+    /// Does global server `s` belong to this pattern's grid?
+    pub fn owns_server(&self, s: usize) -> bool {
+        s >= self.offset && s < self.offset + self.cells()
+    }
+
+    /// Replication factor of one tuple of `atom` in this grid: the
+    /// product of the shares of the dimensions the atom does not fix.
+    pub fn replication_of(&self, atom: &Atom) -> usize {
+        let fixed = atom.distinct_vars();
+        self.shares
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !fixed.contains(&VarId(*i)))
+            .map(|(_, s)| *s)
+            .product()
+    }
+}
+
+/// The worst-case optimal multi-round plan for one `(query, database, p)`
+/// triple: heavy value lists, one grid per active heavy pattern, and the
+/// light HyperCube — see the [module docs](crate::wco) for the algorithm.
+#[derive(Debug, Clone)]
+pub struct WorstCaseOptimalPlan {
+    query: Query,
+    p: usize,
+    /// Largest base relation cardinality (the `n` of the load targets).
+    n: u64,
+    heavy: HeavyValues,
+    /// Pattern groups; index 0 is the light pattern.
+    patterns: Vec<WcoPattern>,
+    /// Exact number of base tuples the staging round distributes (tuples
+    /// needed by at least one heavy grid).
+    staged_tuples: u64,
+    /// `τ*` of the full query (the one-round load exponent).
+    tau_star: Rational,
+    /// `ρ*` of the full query (the AGM load exponent).
+    rho_star: Rational,
+}
+
+impl WorstCaseOptimalPlan {
+    /// Plan against the given database.
+    ///
+    /// Missing relations are treated as empty (the join is then empty,
+    /// and so is every pattern's grid traffic). Heavy variables are
+    /// demoted by total heavy mass when `p` cannot host one group per
+    /// active pattern plus the light grid.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `p = 0`; propagates LP and allocation errors.
+    pub fn build(query: &Query, db: &Database, p: usize) -> Result<Self> {
+        if p == 0 {
+            return Err(CoreError::InvalidPlan("p must be at least 1".to_string()));
+        }
+        let lps = QueryLps::solve(query)?;
+        let tau_star = lps.covering_number();
+        let rho_star = lps.edge_cover().total();
+        let n = query
+            .atoms()
+            .iter()
+            .filter_map(|a| db.relation(&a.name).ok())
+            .map(|r| r.len() as u64)
+            .max()
+            .unwrap_or(0);
+
+        let base = ShareAllocation::optimal(query, p)?;
+        let mut heavy = detect_heavy(query, db, &base);
+
+        // Demote until every active pattern (plus the light grid) can be
+        // granted at least one server.
+        let (mut pattern_counts, mut active) = scan_patterns(query, db, &heavy);
+        while active.len() + 1 > p {
+            let weakest = heavy
+                .heavy_vars()
+                .into_iter()
+                .min_by_key(|v| heavy_mass(query, &pattern_counts, *v))
+                .expect("active patterns imply heavy variables");
+            heavy.demote(weakest);
+            let rescan = scan_patterns(query, db, &heavy);
+            pattern_counts = rescan.0;
+            active = rescan.1;
+        }
+
+        // Tuple mass per group, light first, for proportional carving.
+        let mass_of = |h: &BTreeSet<VarId>| -> u64 {
+            query
+                .atoms()
+                .iter()
+                .zip(&pattern_counts)
+                .map(|(atom, counts)| {
+                    let induced: BTreeSet<VarId> =
+                        atom.distinct_vars().intersection(h).copied().collect();
+                    counts.get(&induced).copied().unwrap_or(0)
+                })
+                .sum()
+        };
+        let light_mass = mass_of(&BTreeSet::new());
+        let masses: Vec<u64> =
+            std::iter::once(light_mass).chain(active.iter().map(&mass_of)).collect();
+        let group_sizes = proportional_groups(p, &masses);
+
+        let mut patterns = Vec::with_capacity(active.len() + 1);
+        let mut offset = 0usize;
+        for (idx, group_size) in group_sizes.into_iter().enumerate() {
+            let heavy_vars = if idx == 0 { BTreeSet::new() } else { active[idx - 1].clone() };
+            let atom_tuples: Vec<u64> = query
+                .atoms()
+                .iter()
+                .zip(&pattern_counts)
+                .map(|(atom, counts)| {
+                    let induced: BTreeSet<VarId> =
+                        atom.distinct_vars().intersection(&heavy_vars).copied().collect();
+                    counts.get(&induced).copied().unwrap_or(0)
+                })
+                .collect();
+            let (shares, residual_rho_star) = if heavy_vars.is_empty() {
+                (ShareAllocation::optimal(query, group_size)?.shares, Some(rho_star))
+            } else {
+                let shares =
+                    capped_greedy_shares(query, &heavy_vars, &heavy, &atom_tuples, group_size);
+                let rho = match residual_query(query, &heavy_vars) {
+                    Some(rq) => Some(QueryLps::solve(&rq)?.edge_cover().total()),
+                    None => None,
+                };
+                (shares, rho)
+            };
+            let pattern = WcoPattern {
+                heavy_vars,
+                shares,
+                offset,
+                group_size,
+                atom_tuples,
+                residual_rho_star,
+            };
+            offset += pattern.cells();
+            patterns.push(pattern);
+        }
+
+        // Exact staging volume: a base tuple is staged when some heavy
+        // grid needs it, i.e. its own pattern is the one some active `H`
+        // induces on the atom.
+        let staged_tuples = query
+            .atoms()
+            .iter()
+            .zip(&pattern_counts)
+            .map(|(atom, counts)| {
+                counts
+                    .iter()
+                    .filter(|(phi, _)| {
+                        active.iter().any(|h| {
+                            atom.distinct_vars().intersection(h).copied().collect::<BTreeSet<_>>()
+                                == **phi
+                        })
+                    })
+                    .map(|(_, c)| *c)
+                    .sum::<u64>()
+            })
+            .sum();
+
+        Ok(WorstCaseOptimalPlan {
+            query: query.clone(),
+            p,
+            n,
+            heavy,
+            patterns,
+            staged_tuples,
+            tau_star,
+            rho_star,
+        })
+    }
+
+    /// The planned query.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// The server count the plan was carved for.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// The largest base relation cardinality.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The heavy value lists.
+    pub fn heavy(&self) -> &HeavyValues {
+        &self.heavy
+    }
+
+    /// All pattern groups, the light pattern first.
+    pub fn patterns(&self) -> &[WcoPattern] {
+        &self.patterns
+    }
+
+    /// Exact tuples the staging shuffle of round 1 distributes.
+    pub fn staged_tuples(&self) -> u64 {
+        self.staged_tuples
+    }
+
+    /// `τ*` of the query (one-round load exponent `n/p^{1/τ*}`).
+    pub fn tau_star(&self) -> Rational {
+        self.tau_star
+    }
+
+    /// `ρ*` of the query (AGM load exponent `n/p^{1/ρ*}`).
+    pub fn rho_star(&self) -> Rational {
+        self.rho_star
+    }
+
+    /// Rounds this plan executes on *this* database: 1 when no heavy
+    /// pattern is active (pure skew-free HyperCube), 2 otherwise.
+    pub fn num_rounds(&self) -> usize {
+        if self.patterns.len() > 1 {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// Rounds the strategy needs on *worst-case* databases for this
+    /// query: single-atom queries are one shuffle; everything else may
+    /// need the staging + broadcast-join pair.
+    pub fn worst_case_rounds(&self) -> usize {
+        if self.query.num_atoms() <= 1 {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// The multi-round lower bound at this strategy's effective space
+    /// exponent `ε = 1 − 1/ρ*` — the floor [`Self::worst_case_rounds`]
+    /// is verified against. The bound is stated over matching databases,
+    /// so for queries with `τ* = ρ*` (cycles, cliques) it evaluates at
+    /// `ε = ε*` where one round suffices on matchings — the strategy's
+    /// extra round is the price of *skewed* inputs, which the matching
+    /// bound cannot see. At any `ε < ε*` the same machinery certifies
+    /// ≥ 2 rounds, which is what the property suite checks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LP/enumeration errors of the lower-bound machinery.
+    pub fn round_floor(&self) -> Result<usize> {
+        round_lower_bound(&self.query, effective_epsilon(self.rho_star)?)
+    }
+
+    /// Verify the plan against the existing multi-round lower bound
+    /// (`multiround/lower_bound.rs`): this strategy's worst-case round
+    /// count must sit on or above [`Self::round_floor`] — it must never
+    /// claim fewer rounds than tuple-based MPC(ε) algorithms are allowed
+    /// at the AGM load target.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidPlan`] if the strategy claims fewer rounds
+    /// than the lower bound allows; propagated LP errors.
+    pub fn verify_round_floor(&self) -> Result<usize> {
+        let floor = self.round_floor()?;
+        if self.worst_case_rounds() < floor {
+            return Err(CoreError::InvalidPlan(format!(
+                "worst-case optimal strategy claims {} round(s) but the lower bound at \
+                 ε = 1 − 1/ρ* is {floor}",
+                self.worst_case_rounds()
+            )));
+        }
+        Ok(floor)
+    }
+
+    /// The pattern owning global server `s`, if any (servers beyond the
+    /// last grid only stage).
+    pub fn pattern_of_server(&self, s: usize) -> Option<usize> {
+        self.patterns.iter().position(|pat| pat.owns_server(s))
+    }
+
+    /// The indices of the heavy patterns (≥ 1) whose induced pattern on
+    /// `atom` equals `phi` — the grids one tuple with pattern `phi` must
+    /// reach in the broadcast-join round.
+    pub fn heavy_patterns_for(&self, atom: &Atom, phi: &BTreeSet<VarId>) -> Vec<usize> {
+        let vars = atom.distinct_vars();
+        self.patterns
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter(|(_, pat)| {
+                pat.heavy_vars.intersection(&vars).copied().collect::<BTreeSet<_>>() == *phi
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Degree-threshold heavy detection: value `v` is heavy at `x` when some
+/// atom containing `x` has more than `|R| / p_x` tuples carrying `v` at
+/// an occurrence of `x`.
+fn detect_heavy(query: &Query, db: &Database, base: &ShareAllocation) -> HeavyValues {
+    let mut values: Vec<BTreeSet<Value>> = vec![BTreeSet::new(); query.num_vars()];
+    for atom in query.atoms() {
+        let Ok(rel) = db.relation(&atom.name) else { continue };
+        let total = rel.len() as u64;
+        for (pos, var) in atom.vars.iter().enumerate() {
+            let share = base.share(*var).max(1) as u64;
+            if share <= 1 {
+                continue;
+            }
+            let mut hist: BTreeMap<Value, u64> = BTreeMap::new();
+            for t in rel.iter() {
+                *hist.entry(t.values()[pos]).or_insert(0) += 1;
+            }
+            for (v, deg) in hist {
+                if deg * share > total {
+                    values[var.0].insert(v);
+                }
+            }
+        }
+    }
+    HeavyValues { values: values.into_iter().map(|s| s.into_iter().collect()).collect() }
+}
+
+/// One scan of the input: per-atom tuple counts keyed by heavy pattern,
+/// plus the list of *active* heavy patterns — subsets `H` of the heavy
+/// variables for which **every** atom has at least one compatible tuple
+/// (otherwise the residual join is empty and `H` needs no grid).
+#[allow(clippy::type_complexity)]
+fn scan_patterns(
+    query: &Query,
+    db: &Database,
+    heavy: &HeavyValues,
+) -> (Vec<BTreeMap<BTreeSet<VarId>, u64>>, Vec<BTreeSet<VarId>>) {
+    let counts: Vec<BTreeMap<BTreeSet<VarId>, u64>> = query
+        .atoms()
+        .iter()
+        .map(|atom| {
+            let mut m: BTreeMap<BTreeSet<VarId>, u64> = BTreeMap::new();
+            if let Ok(rel) = db.relation(&atom.name) {
+                for t in rel.iter() {
+                    if let Some(phi) = heavy.pattern_of(atom, t) {
+                        *m.entry(phi).or_insert(0) += 1;
+                    }
+                }
+            }
+            m
+        })
+        .collect();
+
+    let capable = heavy.heavy_vars();
+    let mut active = Vec::new();
+    for mask in 1usize..(1 << capable.len()) {
+        let h: BTreeSet<VarId> = capable
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, v)| *v)
+            .collect();
+        let feasible = query.atoms().iter().zip(&counts).all(|(atom, c)| {
+            let induced: BTreeSet<VarId> = atom.distinct_vars().intersection(&h).copied().collect();
+            c.get(&induced).copied().unwrap_or(0) > 0
+        });
+        if feasible {
+            active.push(h);
+        }
+    }
+    (counts, active)
+}
+
+/// Total tuples whose pattern mentions `var` — the demotion severity.
+fn heavy_mass(query: &Query, counts: &[BTreeMap<BTreeSet<VarId>, u64>], var: VarId) -> u64 {
+    query
+        .atoms()
+        .iter()
+        .zip(counts)
+        .map(|(_, c)| c.iter().filter(|(phi, _)| phi.contains(&var)).map(|(_, n)| *n).sum::<u64>())
+        .sum()
+}
+
+/// Carve `p` servers into groups proportional to `weights`, at least one
+/// server per group; leftovers go to the group with the highest
+/// weight-per-server.
+fn proportional_groups(p: usize, weights: &[u64]) -> Vec<usize> {
+    let m = weights.len();
+    debug_assert!(m <= p, "caller guarantees one server per group");
+    let total: u64 = weights.iter().sum();
+    let mut sizes: Vec<usize> = if total == 0 {
+        vec![p / m; m]
+    } else {
+        weights.iter().map(|w| (p as f64 * *w as f64 / total as f64).floor() as usize).collect()
+    };
+    for s in &mut sizes {
+        *s = (*s).max(1);
+    }
+    while sizes.iter().sum::<usize>() > p {
+        let (idx, _) = sizes
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s > 1)
+            .max_by_key(|(_, s)| **s)
+            .expect("sum > p ≥ m implies some group > 1");
+        sizes[idx] -= 1;
+    }
+    while sizes.iter().sum::<usize>() < p {
+        let (idx, _) = weights
+            .iter()
+            .enumerate()
+            .max_by(|(i, a), (j, b)| {
+                let la = **a as f64 / sizes[*i] as f64;
+                let lb = **b as f64 / sizes[*j] as f64;
+                la.partial_cmp(&lb).expect("finite").then(j.cmp(i))
+            })
+            .expect("at least one group");
+        sizes[idx] += 1;
+    }
+    sizes
+}
+
+/// The residual query `q_H`: heavy variables deleted from every atom,
+/// fully-heavy atoms dropped. `None` when every atom is fully heavy.
+pub fn residual_query(q: &Query, heavy_vars: &BTreeSet<VarId>) -> Option<Query> {
+    let mut atoms: Vec<(String, Vec<String>)> = Vec::new();
+    for atom in q.atoms() {
+        let light: Vec<String> = atom
+            .vars
+            .iter()
+            .filter(|v| !heavy_vars.contains(v))
+            .map(|v| q.var_names()[v.0].clone())
+            .collect();
+        if !light.is_empty() {
+            atoms.push((atom.name.clone(), light));
+        }
+    }
+    if atoms.is_empty() {
+        return None;
+    }
+    let label: Vec<&str> = heavy_vars.iter().map(|v| q.var_names()[v.0].as_str()).collect();
+    Query::new(format!("{}%{}", q.name(), label.join(",")), atoms).ok()
+}
+
+/// Cardinality-aware share search for one heavy pattern's grid: grow, one
+/// unit at a time, the dimension whose increment most reduces the
+/// estimated per-server load `Σ_j m_j / ∏_{x ∈ vars(R_j)} p_x`, subject
+/// to the grid fitting the group and heavy dimensions never exceeding
+/// their value count (a dimension wider than its domain is wasted).
+fn capped_greedy_shares(
+    q: &Query,
+    heavy_vars: &BTreeSet<VarId>,
+    heavy: &HeavyValues,
+    atom_tuples: &[u64],
+    group: usize,
+) -> Vec<usize> {
+    let estimated = |shares: &[usize]| -> f64 {
+        q.atoms()
+            .iter()
+            .zip(atom_tuples)
+            .map(|(atom, m)| {
+                let spread: usize = atom.distinct_vars().iter().map(|v| shares[v.0]).product();
+                *m as f64 / spread as f64
+            })
+            .sum()
+    };
+    let cap = |v: usize| -> usize {
+        if heavy_vars.contains(&VarId(v)) {
+            heavy.count(VarId(v)).max(1)
+        } else {
+            usize::MAX
+        }
+    };
+    let mut shares = vec![1usize; q.num_vars()];
+    loop {
+        let product: usize = shares.iter().product();
+        let current = estimated(&shares);
+        let mut best: Option<(usize, f64)> = None;
+        for v in 0..shares.len() {
+            if shares[v] + 1 > cap(v) || product / shares[v] * (shares[v] + 1) > group {
+                continue;
+            }
+            shares[v] += 1;
+            let load = estimated(&shares);
+            shares[v] -= 1;
+            if load < current && best.is_none_or(|(_, b)| load < b) {
+                best = Some((v, load));
+            }
+        }
+        match best {
+            Some((v, _)) => shares[v] += 1,
+            None => return shares,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_cq::families;
+    use mpc_data::matching_database;
+    use mpc_data::skew::{heavy_hitter_database, zipf_database};
+
+    #[test]
+    fn skew_free_input_collapses_to_the_light_hypercube() {
+        let q = families::triangle();
+        let db = matching_database(&q, 600, 7);
+        let plan = WorstCaseOptimalPlan::build(&q, &db, 27).unwrap();
+        assert_eq!(plan.patterns().len(), 1, "no heavy values on a matching");
+        assert_eq!(plan.num_rounds(), 1);
+        let light = &plan.patterns()[0];
+        assert!(light.heavy_vars.is_empty());
+        assert_eq!(light.shares, vec![3, 3, 3], "the cover-based p^(1/3) shares");
+        assert_eq!(plan.staged_tuples(), 0);
+    }
+
+    #[test]
+    fn heavy_hitter_triangle_activates_heavy_patterns_on_disjoint_groups() {
+        let q = families::triangle();
+        let db = heavy_hitter_database(&q, 1000, 2000, 0.5, 11);
+        let plan = WorstCaseOptimalPlan::build(&q, &db, 32).unwrap();
+        assert!(plan.patterns().len() > 1, "half of every relation shares one key");
+        assert_eq!(plan.num_rounds(), 2);
+        assert!(plan.staged_tuples() > 0);
+        // Grids are disjoint and fit.
+        let mut end = 0usize;
+        for pat in plan.patterns() {
+            assert!(pat.offset >= end);
+            assert!(pat.cells() <= pat.group_size);
+            end = pat.offset + pat.cells();
+        }
+        assert!(end <= 32);
+        // Heavy dimensions never exceed their value count.
+        for pat in plan.patterns().iter().skip(1) {
+            for v in &pat.heavy_vars {
+                assert!(pat.shares[v.0] <= plan.heavy().count(*v).max(1));
+            }
+            // Only the all-heavy configuration leaves no residual query.
+            assert_eq!(pat.residual_rho_star.is_none(), pat.heavy_vars.len() == q.num_vars());
+        }
+    }
+
+    #[test]
+    fn round_floor_verification_holds_for_the_triangle() {
+        // ε_eff = 1 − 1/ρ* = 1/3 = ε* for C3: over matchings one round
+        // suffices at that ε, so the floor is 1 and the strategy's 2
+        // worst-case rounds sit above it. Below ε* the same machinery
+        // certifies ≥ 2 rounds — the regime the extra round pays for.
+        let q = families::triangle();
+        let db = heavy_hitter_database(&q, 500, 1000, 0.5, 3);
+        let plan = WorstCaseOptimalPlan::build(&q, &db, 16).unwrap();
+        assert_eq!(plan.worst_case_rounds(), 2);
+        assert_eq!(plan.verify_round_floor().unwrap(), 1);
+        assert_eq!(round_lower_bound(&q, Rational::ZERO).unwrap(), 2);
+    }
+
+    #[test]
+    fn demotion_keeps_one_group_per_server() {
+        let q = families::cycle(4);
+        let db = zipf_database(&q, 400, 1200, 1.6, 5);
+        // p = 2: at most the light grid plus one heavy group.
+        let plan = WorstCaseOptimalPlan::build(&q, &db, 2).unwrap();
+        assert!(plan.patterns().len() <= 2);
+        let used: usize = plan.patterns().iter().map(WcoPattern::cells).sum();
+        assert!(used <= 2);
+    }
+
+    #[test]
+    fn residual_query_deletes_heavy_positions() {
+        let q = families::triangle();
+        let x1 = q.var_id("x1").unwrap();
+        let rq = residual_query(&q, &[x1].into_iter().collect()).unwrap();
+        assert_eq!(rq.num_atoms(), 3);
+        // S1(x1,x2) and S3(x3,x1) lose a position; S2(x2,x3) is intact.
+        let total: usize = rq.atoms().iter().map(Atom::arity).sum();
+        assert_eq!(total, 4);
+        let all: BTreeSet<VarId> = q.var_ids().collect();
+        assert!(residual_query(&q, &all).is_none());
+    }
+
+    #[test]
+    fn rejects_zero_servers() {
+        let q = families::triangle();
+        let db = matching_database(&q, 50, 1);
+        assert!(WorstCaseOptimalPlan::build(&q, &db, 0).is_err());
+    }
+}

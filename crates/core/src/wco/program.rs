@@ -1,0 +1,305 @@
+//! [`WcoProgram`]: a [`WorstCaseOptimalPlan`] compiled to an
+//! [`MpcProgram`], runnable unchanged on `Cluster::run`, `run_async` and
+//! the `mpc-net` transports.
+//!
+//! Dataflow (two rounds when any heavy pattern is active, one otherwise):
+//!
+//! * **Round 1** — the input server of relation `R` sends each tuple
+//!   whose heavy pattern is `∅` into the light HyperCube grid (ordinary
+//!   hashed routing at the cover shares), and *stages* each tuple needed
+//!   by at least one heavy grid onto a single server chosen by hashing
+//!   the whole tuple over all `p` servers (tag `wco.stage##R`). Staging
+//!   spreads the heavy-bound volume evenly: `O(ℓn/p)` extra per server.
+//! * **Round 2** — every server re-emits its staged tuples to the grid
+//!   cells of the heavy patterns that want them, under the plain relation
+//!   tag. Atoms missing a grid dimension are replicated across it (the
+//!   broadcast-join). Destinations are a pure function of
+//!   `(tag, tuple, round)`, as the tuple-based model requires.
+//! * **Output** — every grid cell (light or heavy) evaluates the query
+//!   locally; cells of no grid (possible when `p` exceeds the sum of
+//!   grid volumes) only staged and report nothing. Each answer is formed
+//!   in exactly one cell of exactly one grid — the partition property the
+//!   differential suite pins.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mpc_cq::{Atom, Query};
+use mpc_sim::program::{hash_to_bucket, hash_value};
+use mpc_sim::{MpcProgram, Routed, ServerState};
+use mpc_storage::{Database, Relation, Tuple};
+
+use crate::shares::consistent_cells;
+use crate::wco::plan::{WcoPattern, WorstCaseOptimalPlan};
+use crate::Result;
+
+/// Tag prefix of staged (round-1 parked, round-2 re-emitted) tuples.
+const STAGE_PREFIX: &str = "wco.stage##";
+
+/// The worst-case optimal heavy/light program. See the [module
+/// docs](self) for the round structure.
+#[derive(Debug, Clone)]
+pub struct WcoProgram {
+    plan: WorstCaseOptimalPlan,
+    /// Per-variable hash seeds for light dimensions.
+    var_seeds: Vec<u64>,
+    /// Seed of the round-1 staging hash.
+    stage_seed: u64,
+}
+
+impl WcoProgram {
+    /// Plan against `db` and compile.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning (LP, allocation) errors; rejects `p = 0`.
+    pub fn new(query: &Query, db: &Database, p: usize, seed: u64) -> Result<Self> {
+        Ok(Self::with_plan(WorstCaseOptimalPlan::build(query, db, p)?, seed))
+    }
+
+    /// Compile an already-built plan.
+    pub fn with_plan(plan: WorstCaseOptimalPlan, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let var_seeds = (0..plan.query().num_vars()).map(|_| rng.gen()).collect();
+        let stage_seed = rng.gen();
+        WcoProgram { plan, var_seeds, stage_seed }
+    }
+
+    /// The underlying plan.
+    pub fn plan(&self) -> &WorstCaseOptimalPlan {
+        &self.plan
+    }
+
+    /// Destination cells (global server indices) of one tuple of `atom`
+    /// inside one pattern's grid: heavy dimensions are value-indexed
+    /// (heavy rank mod share), light dimensions hashed, dimensions the
+    /// atom does not fix are free (the replication).
+    fn grid_destinations(&self, pat: &WcoPattern, atom: &Atom, tuple: &Tuple) -> Vec<usize> {
+        let mut partial: Vec<Option<usize>> = vec![None; self.plan.query().num_vars()];
+        for (pos, var) in atom.vars.iter().enumerate() {
+            let value = tuple.values()[pos];
+            let share = pat.shares[var.0].max(1);
+            let coord = if pat.heavy_vars.contains(var) {
+                match self.plan.heavy().index_of(*var, value) {
+                    Some(rank) => rank % share,
+                    // The caller only routes pattern-compatible tuples;
+                    // a non-heavy value here means an incompatible tuple.
+                    None => return Vec::new(),
+                }
+            } else {
+                hash_value(self.var_seeds[var.0], value, share)
+            };
+            partial[var.0] = Some(coord);
+        }
+        consistent_cells(&pat.shares, &partial).into_iter().map(|c| c + pat.offset).collect()
+    }
+
+    /// The single staging server of a tuple: an even hash of the whole
+    /// tuple over all `p` servers, salted per relation so distinct
+    /// relations spread independently.
+    fn stage_server(&self, atom_index: usize, tuple: &Tuple) -> usize {
+        let salt = self.stage_seed ^ (atom_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        hash_to_bucket(salt, tuple.values(), self.plan.p())
+    }
+}
+
+impl MpcProgram for WcoProgram {
+    fn num_rounds(&self) -> usize {
+        self.plan.num_rounds()
+    }
+
+    fn route_input(&self, relation: &Relation, _p: usize) -> mpc_sim::Result<Vec<Routed>> {
+        let query = self.plan.query();
+        let Some((atom_id, atom)) = query.atom_by_name(relation.name()) else {
+            return Ok(Vec::new());
+        };
+        let light = &self.plan.patterns()[0];
+        let mut out = Vec::new();
+        for t in relation.iter() {
+            // Tuples disagreeing on a repeated variable never join.
+            let Some(phi) = self.plan.heavy().pattern_of(atom, t) else { continue };
+            if phi.is_empty() {
+                out.push(Routed::new(
+                    relation.name(),
+                    t.clone(),
+                    self.grid_destinations(light, atom, t),
+                ));
+            }
+            if !self.plan.heavy_patterns_for(atom, &phi).is_empty() {
+                out.push(Routed::new(
+                    format!("{STAGE_PREFIX}{}", relation.name()),
+                    t.clone(),
+                    vec![self.stage_server(atom_id.0, t)],
+                ));
+            }
+        }
+        Ok(out)
+    }
+
+    fn route_tuples(
+        &self,
+        round: usize,
+        _server: usize,
+        state: &ServerState,
+    ) -> mpc_sim::Result<Vec<Routed>> {
+        if round != 2 {
+            return Ok(Vec::new());
+        }
+        let query = self.plan.query();
+        let mut out = Vec::new();
+        for tag in state.tags() {
+            let Some(name) = tag.strip_prefix(STAGE_PREFIX) else { continue };
+            let Some((_, atom)) = query.atom_by_name(name) else { continue };
+            let staged = state.relation(tag).expect("tag was just listed");
+            for t in staged.iter() {
+                let Some(phi) = self.plan.heavy().pattern_of(atom, t) else { continue };
+                let mut dests = Vec::new();
+                for pi in self.plan.heavy_patterns_for(atom, &phi) {
+                    dests.extend(self.grid_destinations(&self.plan.patterns()[pi], atom, t));
+                }
+                if !dests.is_empty() {
+                    out.push(Routed::new(name, t.clone(), dests));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn compute(
+        &self,
+        _round: usize,
+        _server: usize,
+        _state: &ServerState,
+    ) -> mpc_sim::Result<Vec<Relation>> {
+        Ok(Vec::new())
+    }
+
+    fn output(&self, server: usize, state: &ServerState) -> mpc_sim::Result<Relation> {
+        let query = self.plan.query();
+        let empty = || Relation::empty(query.name(), query.num_vars());
+        if self.plan.pattern_of_server(server).is_none() {
+            // A pure staging server: holds parked copies, owns no grid cell.
+            return Ok(empty());
+        }
+        for atom in query.atoms() {
+            if state.relation(&atom.name).is_none() {
+                return Ok(empty());
+            }
+        }
+        // Staged tags remain in the state, but the evaluator only reads
+        // the relations the query's atoms name.
+        let db = state.as_database();
+        Ok(mpc_storage::join::evaluate(query, &db)?)
+    }
+
+    fn output_name(&self) -> String {
+        self.plan.query().name().to_string()
+    }
+
+    fn output_arity(&self) -> usize {
+        self.plan.query().num_vars()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_cq::families;
+    use mpc_data::matching_database;
+    use mpc_data::skew::{heavy_hitter_database, zipf_database};
+    use mpc_sim::{Cluster, MpcConfig};
+    use mpc_storage::join::evaluate;
+
+    fn run_wco(q: &Query, db: &Database, p: usize, seed: u64) -> mpc_sim::RunResult {
+        let program = WcoProgram::new(q, db, p, seed).unwrap();
+        let cluster = Cluster::new(MpcConfig::new(p, 0.9)).unwrap();
+        cluster.run(&program, db).unwrap()
+    }
+
+    #[test]
+    fn matches_sequential_join_on_matchings() {
+        let q = families::triangle();
+        let db = matching_database(&q, 900, 3);
+        let result = run_wco(&q, &db, 27, 7);
+        assert!(result.output.same_tuples(&evaluate(&q, &db).unwrap()));
+        assert_eq!(result.rounds.len(), 1, "skew-free input is one round");
+    }
+
+    #[test]
+    fn matches_sequential_join_on_zipf_skew() {
+        // Moderate Zipf skew may or may not cross the heavy threshold;
+        // the output must be exact either way.
+        for (qi, q) in [families::triangle(), families::cycle(4)].into_iter().enumerate() {
+            let db = zipf_database(&q, 600, 1500, 1.4, 21 + qi as u64);
+            let result = run_wco(&q, &db, 16, 5);
+            let expected = evaluate(&q, &db).unwrap();
+            assert!(
+                result.output.same_tuples(&expected),
+                "{}: {} vs {} tuples",
+                q.name(),
+                result.output.len(),
+                expected.len()
+            );
+        }
+    }
+
+    #[test]
+    fn matches_sequential_join_under_heavy_hitters() {
+        // Half of every relation shares one key: the heavy side activates
+        // and the broadcast-join round runs.
+        for (qi, q) in [families::triangle(), families::cycle(4)].into_iter().enumerate() {
+            // deg = 0.6·1500 = 900 planted copies; 900·share > 1500 at
+            // every share ≥ 2, so the hitter is heavy for both queries.
+            let db = heavy_hitter_database(&q, 1200, 1500, 0.6, 21 + qi as u64);
+            let result = run_wco(&q, &db, 16, 5);
+            let expected = evaluate(&q, &db).unwrap();
+            assert!(
+                result.output.same_tuples(&expected),
+                "{}: {} vs {} tuples",
+                q.name(),
+                result.output.len(),
+                expected.len()
+            );
+            assert_eq!(result.rounds.len(), 2, "{}: skew activates the heavy side", q.name());
+        }
+    }
+
+    #[test]
+    fn answers_partition_across_servers_exactly() {
+        // Σ per-server outputs == total output: no duplicate answers
+        // across grids (each answer is formed in exactly one cell).
+        let q = families::triangle();
+        let db = heavy_hitter_database(&q, 500, 1200, 0.5, 9);
+        let result = run_wco(&q, &db, 12, 3);
+        let total: usize = result.per_server_output.iter().sum();
+        assert_eq!(total, result.output.len());
+    }
+
+    #[test]
+    fn single_heavy_value_triangle_is_exact() {
+        // A planted star: value 0 occurs in every S3 tuple's second slot,
+        // making x1 maximally heavy. All answers go through one pattern.
+        let q = families::triangle();
+        let mut db = Database::new(64);
+        let s1: Vec<[u64; 2]> = (1..=20).map(|i| [0u64, i]).collect();
+        let s2: Vec<[u64; 2]> = (1..=20).map(|i| [i, i + 20]).collect();
+        let s3: Vec<[u64; 2]> = (21..=40).map(|i| [i, 0u64]).collect();
+        db.insert_relation(Relation::from_tuples("S1", 2, s1).unwrap());
+        db.insert_relation(Relation::from_tuples("S2", 2, s2).unwrap());
+        db.insert_relation(Relation::from_tuples("S3", 2, s3).unwrap());
+        let expected = evaluate(&q, &db).unwrap();
+        assert_eq!(expected.len(), 20, "the star closes 20 triangles");
+        let result = run_wco(&q, &db, 8, 11);
+        assert!(result.output.same_tuples(&expected));
+    }
+
+    #[test]
+    fn routing_is_deterministic() {
+        let q = families::triangle();
+        let db = heavy_hitter_database(&q, 300, 800, 0.5, 13);
+        let a = run_wco(&q, &db, 9, 5);
+        let b = run_wco(&q, &db, 9, 5);
+        assert!(a.output.same_tuples(&b.output));
+        assert_eq!(a.rounds, b.rounds);
+    }
+}

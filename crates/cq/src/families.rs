@@ -91,6 +91,32 @@ pub fn binomial(k: usize, m: usize) -> Result<Query> {
     Query::new(format!("B{k}_{m}"), atoms)
 }
 
+/// The clique query `K_k(x1,…,xk)` with one binary atom `S_i_j(x_i,x_j)`
+/// per edge `i < j` — [`binomial`]`(k, 2)` under its graph-theoretic name.
+/// Cliques have `τ* = ρ* = k/2`, so the one-round HyperCube and AGM load
+/// targets coincide on skew-free data and the worst-case optimal strategy
+/// wins exactly when the input is skewed.
+///
+/// # Errors
+///
+/// Returns [`CqError::InvalidFamilyParameter`] when `k < 2` (a clique
+/// needs at least one edge).
+pub fn clique(k: usize) -> Result<Query> {
+    if k < 2 {
+        return Err(CqError::InvalidFamilyParameter(format!("clique(k={k}) requires k >= 2")));
+    }
+    let edges = binomial(k, 2)?;
+    let atoms = edges
+        .atoms()
+        .iter()
+        .map(|atom| {
+            let vars = atom.vars.iter().map(|v| edges.var_names()[v.0].clone()).collect();
+            (atom.name.clone(), vars)
+        })
+        .collect::<Vec<(String, Vec<String>)>>();
+    Query::new(format!("K{k}"), atoms)
+}
+
 /// The "spoke" query `SP_k(z, x1, y1, …, xk, yk) = ⋀_i R_i(z,x_i), S_i(x_i,y_i)`
 /// from Example 4.2: one round needs replication `p^{1−1/k}`, but a 2-round
 /// plan needs none.
@@ -445,6 +471,24 @@ mod tests {
     fn binomial_rejects_bad_parameters() {
         assert!(binomial(3, 0).is_err());
         assert!(binomial(3, 4).is_err());
+    }
+
+    #[test]
+    fn clique_is_binomial_k_2_renamed() {
+        let k4 = clique(4).unwrap();
+        assert_eq!(k4.name(), "K4");
+        assert_eq!(k4.num_atoms(), 6);
+        assert_eq!(k4.num_vars(), 4);
+        let b42 = binomial(4, 2).unwrap();
+        for (a, b) in k4.atoms().iter().zip(b42.atoms()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.vars, b.vars);
+        }
+        // K3 is the triangle, which the recognizer reports as the cycle C3.
+        let k3 = clique(3).unwrap();
+        assert_eq!(k3.num_atoms(), 3);
+        assert!(matches!(recognize(&k3), Some(RecognizedFamily::Cycle { k: 3 })));
+        assert!(clique(1).is_err());
     }
 
     #[test]

@@ -130,6 +130,96 @@ pub fn heavy_hitter_database(
     db
 }
 
+/// A binary relation with **exactly controlled skew**: `heavy_keys`
+/// distinct first-attribute values each occur in exactly `degree` tuples;
+/// the remainder of the `count` tuples is a light filler whose
+/// first-attribute values are drawn above the heavy range (so no light
+/// tuple accidentally raises a heavy key's degree). Unlike
+/// [`heavy_hitter_relation`] (whose planted degree is silently capped at
+/// `n`), this generator panics when the request is unsatisfiable — the
+/// property suite uses it to place degrees exactly on either side of the
+/// WCO heavy threshold `deg · share > |R|`.
+///
+/// Heavy keys are `1..=heavy_keys`; their partner values enumerate
+/// `1..=degree`. Light tuples draw both attributes uniformly from
+/// `heavy_keys+1..=n`.
+///
+/// # Panics
+///
+/// Panics when `degree > n`, when `heavy_keys · degree > count`, or when
+/// the light filler has no room (`n ≤ heavy_keys` with light tuples
+/// required, or more light tuples than the remaining domain square).
+pub fn degree_planted_relation(
+    name: &str,
+    n: u64,
+    count: usize,
+    heavy_keys: u64,
+    degree: usize,
+    rng: &mut StdRng,
+) -> Relation {
+    assert!(degree as u64 <= n, "degree {degree} exceeds the domain size {n}");
+    let heavy_total =
+        (heavy_keys as usize).checked_mul(degree).expect("heavy tuple count fits in usize");
+    assert!(
+        heavy_total <= count,
+        "{heavy_keys} keys of degree {degree} need {heavy_total} tuples, only {count} requested"
+    );
+    let light = count - heavy_total;
+    if light > 0 {
+        let light_domain = n.saturating_sub(heavy_keys);
+        assert!(
+            (light as u64) <= light_domain.saturating_mul(light_domain),
+            "cannot fit {light} distinct light tuples above the heavy range"
+        );
+    }
+    let mut rel = Relation::empty(name, 2);
+    for x in 1..=heavy_keys {
+        for y in 1..=degree as u64 {
+            rel.insert(Tuple(vec![x, y])).expect("arity 2 by construction");
+        }
+    }
+    while rel.len() < count {
+        let x = rng.gen_range(heavy_keys + 1..=n);
+        let y = rng.gen_range(heavy_keys + 1..=n);
+        rel.insert(Tuple(vec![x, y])).expect("arity 2 by construction");
+    }
+    rel
+}
+
+/// A database for a binary-relation query in which every relation is a
+/// [`degree_planted_relation`] with the same parameters — the shared heavy
+/// keys `1..=heavy_keys` join across relations, closing cyclic queries
+/// through the heavy side deterministically. Non-binary atoms are
+/// rejected.
+///
+/// # Panics
+///
+/// Panics if the query contains a non-binary atom, or when the per-relation
+/// construction is unsatisfiable (see [`degree_planted_relation`]).
+pub fn degree_planted_database(
+    q: &Query,
+    n: u64,
+    tuples_per_relation: usize,
+    heavy_keys: u64,
+    degree: usize,
+    seed: u64,
+) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new(n);
+    for atom in q.atoms() {
+        assert_eq!(atom.arity(), 2, "degree_planted_database only supports binary atoms");
+        db.insert_relation(degree_planted_relation(
+            &atom.name,
+            n,
+            tuples_per_relation,
+            heavy_keys,
+            degree,
+            &mut rng,
+        ));
+    }
+    db
+}
+
 /// Exact frequency histogram of one column: for each value occurring at
 /// position `idx`, the number of tuples carrying it. This is the statistic
 /// the heavy-hitter detector thresholds against.
@@ -276,6 +366,42 @@ mod tests {
         // uniform, so its skew is far smaller.
         assert!(attribute_skew(&rel, 0) > 10.0 * attribute_skew(&rel, 1));
         assert_eq!(attribute_skew(&rel, 0), first_attribute_skew(&rel));
+    }
+
+    #[test]
+    fn degree_planted_relation_has_exact_degrees() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let rel = degree_planted_relation("D", 5000, 2000, 3, 400, &mut rng);
+        assert_eq!(rel.len(), 2000);
+        let hist = frequency_histogram(&rel, 0);
+        for key in 1..=3u64 {
+            assert_eq!(hist.get(&key), Some(&400), "heavy key {key} has exact degree");
+        }
+        // Light values never collide with the heavy range.
+        for (value, count) in &hist {
+            if *value > 3 {
+                assert!(*count < 400, "light value {value} stayed light ({count})");
+            }
+        }
+    }
+
+    #[test]
+    fn degree_planted_database_closes_cyclic_answers() {
+        // The shared heavy keys join across relations, so a triangle over
+        // the planted database has at least the all-heavy answers.
+        let q = families::triangle();
+        let db = degree_planted_database(&q, 4000, 1500, 2, 300, 31);
+        let out = mpc_storage::join::evaluate(&q, &db).unwrap();
+        assert!(!out.is_empty(), "heavy keys close triangles");
+        let a = degree_planted_database(&q, 4000, 1500, 2, 300, 31);
+        assert_eq!(db, a, "deterministic per seed");
+    }
+
+    #[test]
+    #[should_panic(expected = "only 100 requested")]
+    fn degree_planted_rejects_overfull_requests() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = degree_planted_relation("D", 1000, 100, 10, 50, &mut rng);
     }
 
     #[test]

@@ -56,11 +56,39 @@ fn check(
     );
 }
 
-fn smoke_job() -> JobSpec {
+/// The spawned-stage program, selected by `--program`.
+#[derive(Clone, Copy, PartialEq)]
+enum SmokeProgram {
+    /// One-round HyperCube on a matching (the default).
+    HcTriangle,
+    /// The worst-case optimal heavy/light program on a heavy-hitter
+    /// input, exercising the staging + broadcast-join round.
+    WcoTriangle,
+}
+
+impl SmokeProgram {
+    fn label(self) -> &'static str {
+        match self {
+            SmokeProgram::HcTriangle => "C3_hc",
+            SmokeProgram::WcoTriangle => "C3_wco",
+        }
+    }
+}
+
+fn smoke_job(program: SmokeProgram) -> JobSpec {
+    let (program, db) = match program {
+        SmokeProgram::HcTriangle => (ProgramSpec::HyperCube, DbSpec::Matching { n: 800, seed: 17 }),
+        // 0.6 · 800 = 480 planted copies of the heavy key; 480 · share
+        // > 800 at every share ≥ 2, so the heavy side activates and the
+        // spawned workers run the full two-round WCO dataflow.
+        SmokeProgram::WcoTriangle => {
+            (ProgramSpec::Wco, DbSpec::HeavyHitter { n: 600, tuples: 800, frac: 0.6, seed: 17 })
+        }
+    };
     JobSpec {
-        program: ProgramSpec::HyperCube,
+        program,
         query: mpc_cq::families::triangle().to_string(),
-        db: DbSpec::Matching { n: 800, seed: 17 },
+        db,
         p: 4,
         epsilon: 0.5,
         seed: 23,
@@ -79,28 +107,32 @@ fn worker_bin() -> std::path::PathBuf {
         })
 }
 
-fn spawned_stage() -> RunResult {
-    let job = smoke_job();
+fn spawned_stage(program: SmokeProgram) -> RunResult {
+    let job = smoke_job(program);
     let built = job.build().unwrap_or_else(|e| fail(&format!("spawned: job build: {e}")));
     let reference = built
         .cluster
         .run(built.program.as_ref(), &built.db)
         .unwrap_or_else(|e| fail(&format!("spawned: reference run: {e}")));
+    if program == SmokeProgram::WcoTriangle && reference.num_rounds() != 2 {
+        fail("spawned C3_wco p=4: heavy side did not activate (expected 2 rounds)");
+    }
 
+    let label = format!("spawned {} p=4", program.label());
     let got = mpc_net::run_spawned(&job, &worker_bin())
         .unwrap_or_else(|e| fail(&format!("spawned: distributed run: {e}")));
-    check("spawned C3_hc p=4", &reference, &got.output, &got.rounds);
+    check(&label, &reference, &got.output, &got.rounds);
     if got.per_server_output != reference.per_server_output {
-        fail("spawned C3_hc p=4: per-server output counts differ");
+        fail(&format!("{label}: per-server output counts differ"));
     }
     reference
 }
 
 /// Re-run the spawned stage with `plan` armed and recovery enabled; the
 /// recovered run must reproduce the undisturbed reference exactly.
-fn fault_stage(reference: &RunResult, plan: FaultPlan) {
-    let job = smoke_job();
-    let label = format!("spawned C3_hc p=4 under {plan}");
+fn fault_stage(program: SmokeProgram, reference: &RunResult, plan: FaultPlan) {
+    let job = smoke_job(program);
+    let label = format!("spawned {} p=4 under {plan}", program.label());
     let cfg = MasterConfig { recovery: RecoveryPolicy::with_respawns(2), faults: Some(plan) };
     let report = mpc_net::run_spawned_with(&job, &worker_bin(), &cfg)
         .unwrap_or_else(|e| fail(&format!("{label}: recovering run: {e}")));
@@ -159,6 +191,7 @@ fn service_stage() {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut inject: Option<FaultPlan> = None;
+    let mut program = SmokeProgram::HcTriangle;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -169,14 +202,25 @@ fn main() {
                 }
                 i += 2;
             }
+            "--program" if i + 1 < args.len() => {
+                program = match args[i + 1].as_str() {
+                    "hc-triangle" => SmokeProgram::HcTriangle,
+                    "wco-triangle" => SmokeProgram::WcoTriangle,
+                    other => {
+                        fail(&format!("unknown --program {other:?} (hc-triangle | wco-triangle)"))
+                    }
+                };
+                i += 2;
+            }
             other => fail(&format!(
-                "unknown argument {other:?} (usage: distributed_smoke [--inject PLAN])"
+                "unknown argument {other:?} \
+                 (usage: distributed_smoke [--program NAME] [--inject PLAN])"
             )),
         }
     }
-    let reference = spawned_stage();
+    let reference = spawned_stage(program);
     if let Some(plan) = inject {
-        fault_stage(&reference, plan);
+        fault_stage(program, &reference, plan);
     }
     service_stage();
     println!("distributed_smoke: all stages passed");

@@ -40,6 +40,9 @@ pub enum ProgramSpec {
         /// Heavy-hitter detection threshold multiplier.
         scale: f64,
     },
+    /// The worst-case optimal heavy/light program (BKS 2018), planned
+    /// against the reconstructed database.
+    Wco,
 }
 
 /// How the input database is (re)generated.
@@ -60,6 +63,18 @@ pub enum DbSpec {
         tuples: usize,
         /// Zipf exponent θ.
         theta: f64,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// [`mpc_data::skew::heavy_hitter_database`]: one planted heavy key
+    /// per relation — the input that activates the WCO heavy side.
+    HeavyHitter {
+        /// Domain size.
+        n: u64,
+        /// Tuples per relation.
+        tuples: usize,
+        /// Fraction of tuples sharing the heavy key.
+        frac: f64,
         /// Generator seed.
         seed: u64,
     },
@@ -130,6 +145,7 @@ impl JobSpec {
             ProgramSpec::SkewResilient { scale } => {
                 ("skew".to_string(), Some(format!("scale={scale}")))
             }
+            ProgramSpec::Wco => ("wco".to_string(), None),
         };
         out.push_str(&format!("program={prog}\n"));
         if let Some(arg) = prog_arg {
@@ -143,6 +159,11 @@ impl JobSpec {
             DbSpec::Zipf { n, tuples, theta, seed } => {
                 out.push_str(&format!(
                     "db=zipf\nn={n}\ntuples={tuples}\ntheta={theta}\ndb_seed={seed}\n"
+                ));
+            }
+            DbSpec::HeavyHitter { n, tuples, frac, seed } => {
+                out.push_str(&format!(
+                    "db=heavy\nn={n}\ntuples={tuples}\nfrac={frac}\ndb_seed={seed}\n"
                 ));
             }
         }
@@ -191,6 +212,7 @@ impl JobSpec {
                 ProgramSpec::MultiRound { plan_epsilon: parse_rational(&get("plan_epsilon")?)? }
             }
             "skew" => ProgramSpec::SkewResilient { scale: fnum("scale")? },
+            "wco" => ProgramSpec::Wco,
             other => return Err(NetError::Protocol(format!("unknown program kind {other:?}"))),
         };
         let db = match get("db")?.as_str() {
@@ -199,6 +221,12 @@ impl JobSpec {
                 n: num("n")?,
                 tuples: num("tuples")? as usize,
                 theta: fnum("theta")?,
+                seed: num("db_seed")?,
+            },
+            "heavy" => DbSpec::HeavyHitter {
+                n: num("n")?,
+                tuples: num("tuples")? as usize,
+                frac: fnum("frac")?,
                 seed: num("db_seed")?,
             },
             other => return Err(NetError::Protocol(format!("unknown db kind {other:?}"))),
@@ -231,6 +259,9 @@ impl JobSpec {
             DbSpec::Zipf { n, tuples, theta, seed } => {
                 mpc_data::skew::zipf_database(&query, *n, *tuples, *theta, *seed)
             }
+            DbSpec::HeavyHitter { n, tuples, frac, seed } => {
+                mpc_data::skew::heavy_hitter_database(&query, *n, *tuples, *frac, *seed)
+            }
         };
         let cluster = Cluster::new(MpcConfig::new(self.p, self.epsilon)).map_err(NetError::Sim)?;
         let program: Box<dyn MpcProgram + Send + Sync> = match &self.program {
@@ -259,6 +290,10 @@ impl JobSpec {
                     self.seed,
                 )
                 .map_err(|e| NetError::Protocol(format!("skew program: {e}")))?,
+            ),
+            ProgramSpec::Wco => Box::new(
+                mpc_core::wco::WcoProgram::new(&query, &db, self.p, self.seed)
+                    .map_err(|e| NetError::Protocol(format!("wco program: {e}")))?,
             ),
         };
         Ok(BuiltJob { program, db, cluster, query })
@@ -290,6 +325,7 @@ mod tests {
             ProgramSpec::HyperCube,
             ProgramSpec::MultiRound { plan_epsilon: Rational::new(1, 3) },
             ProgramSpec::SkewResilient { scale: 1.0 },
+            ProgramSpec::Wco,
         ] {
             let s = spec(program);
             let back = JobSpec::from_wire(&s.to_wire()).unwrap();
@@ -303,6 +339,18 @@ mod tests {
         s.db = DbSpec::Zipf { n: 300, tuples: 600, theta: 0.8, seed: 3 };
         let back = JobSpec::from_wire(&s.to_wire()).unwrap();
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn wco_job_round_trips_and_builds_two_rounds_under_skew() {
+        let mut s = spec(ProgramSpec::Wco);
+        // 0.6 · 800 = 480 planted copies; 480 · share > 800 at any share
+        // ≥ 2, so the heavy side activates and the program is 2 rounds.
+        s.db = DbSpec::HeavyHitter { n: 600, tuples: 800, frac: 0.6, seed: 19 };
+        let back = JobSpec::from_wire(&s.to_wire()).unwrap();
+        assert_eq!(s, back);
+        let built = back.build().unwrap();
+        assert_eq!(built.program.num_rounds(), 2, "heavy hitter activates the broadcast round");
     }
 
     #[test]

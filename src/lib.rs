@@ -85,6 +85,7 @@ pub mod prelude {
     pub use mpc_core::output_sensitive::OutputSensitiveBounds;
     pub use mpc_core::shares::ShareAllocation;
     pub use mpc_core::space_exponent::{gamma_one_contains, space_exponent};
+    pub use mpc_core::wco::{PlannerChoice, WcoLoadPrediction, WcoProgram, WorstCaseOptimalPlan};
     pub use mpc_cq::{families, parser::parse_query, Query};
     pub use mpc_data::{matching_database, output_controlled_database};
     pub use mpc_lp::Rational;
@@ -131,6 +132,10 @@ mod tests {
             _: &QueryService,
             _: &ServiceConfig,
             _: &TransportKind,
+            _: &WorstCaseOptimalPlan,
+            _: &WcoProgram,
+            _: &WcoLoadPrediction,
+            _: &PlannerChoice,
         ) {
         }
         let _parse: fn(&str) -> Result<Query, crate::cq::CqError> = parse_query;

@@ -110,6 +110,62 @@ fn bounds_sandwich_plan_depth() {
     }
 }
 
+/// Lemma 3.4's view sizing (`s^{1+χ}`) on **cyclic** operators. For a
+/// connected query `χ = k + ℓ − a − c ≤ 0`, with equality exactly for
+/// tree-like shapes — so the only branch of the executor's view-size
+/// estimate the tree-like tests cannot reach is `χ < 0`, where the
+/// operator's view is *smaller* than its inputs (`n^{1+χ} < n`; a cycle
+/// closure over matchings expects ~1 answer). This pins that branch and
+/// checks the per-round prediction still brackets the simulation.
+#[test]
+fn cyclic_operators_cover_the_negative_chi_view_sizing() {
+    let n = 400u64;
+    for (q, p) in [(families::cycle(4), 16usize), (families::cycle(6), 8)] {
+        assert!(q.characteristic() < 0, "{} is cyclic", q.name());
+        let plan = MultiRoundPlan::build(&q, Rational::ZERO).unwrap();
+        assert!(plan.num_rounds() >= 2, "{} needs multiple rounds at ε = 0", q.name());
+        // The plan's final operator closes the cycle: its sub-query keeps
+        // χ < 0 (contraction deletes tree-like pieces, never the cycle).
+        let cyclic_ops: Vec<_> = plan
+            .levels()
+            .iter()
+            .flat_map(|level| &level.operators)
+            .filter(|op| op.query.characteristic() < 0)
+            .collect();
+        assert!(!cyclic_ops.is_empty(), "{} plan has a cyclic operator", q.name());
+
+        let pred = plan.predict_loads(p, n).unwrap();
+        for op in &pred.operators {
+            let chi = cyclic_ops
+                .iter()
+                .find(|c| c.view_name == op.view_name)
+                .map(|c| c.query.characteristic());
+            if let Some(chi) = chi {
+                // s^{1+χ} with χ = −1: the expected cycle closure over
+                // matchings is a single answer-slot.
+                assert_eq!(chi, -1, "{}: cycle closures have χ = −1", q.name());
+                assert_eq!(op.output_tuples, 1.0, "{}: view size n^0", q.name());
+            }
+        }
+
+        // The prediction still brackets a real run on a matching.
+        let db = matching_database(&q, n, 29);
+        let outcome = MultiRound::run(&q, &db, p, Rational::ZERO, 5).unwrap();
+        let truth = evaluate(&q, &db).unwrap();
+        assert!(outcome.result.output.same_tuples(&truth), "{} exactness", q.name());
+        for row in pred.compare(&outcome.result).unwrap() {
+            assert!(
+                row.simulated_max_tuples as f64 <= 4.0 * row.predicted_tuples + 16.0,
+                "{} round {}: measured {} escapes 4 × {:.1} + 16",
+                q.name(),
+                row.round,
+                row.simulated_max_tuples,
+                row.predicted_tuples
+            );
+        }
+    }
+}
+
 /// Larger ε never needs more rounds (monotonicity of the tradeoff).
 #[test]
 fn rounds_monotone_in_epsilon() {

@@ -166,6 +166,40 @@ fn all_solver_paths_agree_on_200_random_queries() {
     assert!(closed_form_cases >= CASES / 8, "only {closed_form_cases} closed-form cases");
 }
 
+/// Closed-form pins for the clique family `K_k`: the fractional vertex
+/// cover puts 1/2 on every vertex and the fractional edge cover
+/// `1/(k-1)` on every edge, so `τ* = ρ* = k/2` exactly — the equality
+/// that makes cliques the worst case for the one-round/multi-round
+/// crossover (the AGM and one-round targets coincide on skew-free data).
+/// All three solver paths must pin these rationals exactly.
+#[test]
+fn clique_closed_forms_pin_tau_and_rho_at_k_halves() {
+    for k in 3usize..=6 {
+        let q = families::clique(k).expect("valid clique");
+        let expected = Rational::new(k as i128, 2);
+        let dense = QueryLps::solve_dense(&q).expect("dense oracle solves");
+        let sparse = QueryLps::solve_sparse(&q).expect("sparse solver solves");
+        let fast = QueryLps::solve(&q).expect("fast path solves");
+        for (label, lps) in [("dense", &dense), ("sparse", &sparse), ("fast", &fast)] {
+            assert_eq!(lps.covering_number(), expected, "K{k} τ* via {label}");
+            assert_eq!(lps.edge_cover().total(), expected, "K{k} ρ* via {label}");
+            assert!(lps.vertex_cover().is_valid_for(&q), "K{k} {label} cover feasible");
+            assert!(lps.edge_cover().is_valid_for(&q), "K{k} {label} edge cover feasible");
+            assert_eq!(
+                lps.vertex_cover().total(),
+                lps.edge_packing().total(),
+                "K{k} {label} duality"
+            );
+        }
+        // K3 is recognised as the cycle C3, larger cliques as B_{k,2};
+        // either way the closed form exists and pins the same optima.
+        let (family, closed) =
+            mpc_query::lp::families::closed_form(&q).expect("cliques have a closed form");
+        assert_eq!(closed.covering_number(), expected, "K{k} closed form ({family}) τ*");
+        assert_eq!(closed.edge_cover().total(), expected, "K{k} closed form ({family}) ρ*");
+    }
+}
+
 #[test]
 fn cached_fast_path_agrees_and_transports_validly() {
     let mut rng = StdRng::seed_from_u64(CASE_SEED ^ 0x5EED);

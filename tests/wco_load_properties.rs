@@ -1,0 +1,127 @@
+//! The WCO property wall: 48 seeded (random cyclic query, skewed
+//! database) cases, each checked for
+//!
+//! * **exactness** — the distributed output equals the sequential join;
+//! * **exact partition** — Σ per-server output counts == |output|: every
+//!   answer is produced by exactly one cell of exactly one pattern grid,
+//!   no duplicates across the heavy/light split and no losses;
+//! * **load bracket** — the measured max per-round per-server load stays
+//!   within a constant factor of the plan's prediction (the prediction is
+//!   an expectation from exact tuple masses; the measurement exceeds it
+//!   only by hash imbalance), and can never beat perfect balance
+//!   (`max ≥ total/p`, the instance-level emission lower bound);
+//! * **round floor** — the strategy's worst-case round count respects the
+//!   multi-round lower bound of Theorem 4.5 (`verify_round_floor`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mpc_query::core::wco::{WcoLoadPrediction, WcoProgram, WorstCaseOptimalPlan};
+use mpc_query::data::skew::{degree_planted_database, zipf_database};
+use mpc_query::prelude::*;
+use mpc_query::storage::join::evaluate;
+
+/// Multiplicative slack of the load bracket: measured ≤ SLACK · predicted
+/// + 32. Hash imbalance over small cells motivates the additive floor.
+const SLACK: f64 = 6.0;
+
+/// A random cyclic query: a cycle of length 3–5 plus up to two random
+/// chords (parallel chords are allowed — still a valid cyclic query).
+fn random_cyclic_query(rng: &mut StdRng, case: usize) -> Query {
+    let k = rng.gen_range(3usize..=5);
+    let mut atoms: Vec<(String, Vec<String>)> = (1..=k)
+        .map(|j| {
+            let next = (j % k) + 1;
+            (format!("S{j}"), vec![format!("x{j}"), format!("x{next}")])
+        })
+        .collect();
+    for j in 0..rng.gen_range(0usize..=2) {
+        let a = rng.gen_range(1usize..=k);
+        let b = rng.gen_range(1usize..=k);
+        if a != b {
+            atoms.push((format!("C{j}"), vec![format!("x{a}"), format!("x{b}")]));
+        }
+    }
+    Query::new(format!("rc{case}"), atoms).expect("valid cyclic query")
+}
+
+/// One database per flavour: Zipf (may or may not cross the heavy
+/// threshold), a planted degree safely above it, and one safely below.
+fn databases(q: &Query, rng: &mut StdRng) -> Vec<(String, Database)> {
+    let tuples = rng.gen_range(150usize..=300);
+    let n = 4 * tuples as u64;
+    let theta = [0.8, 1.2, 1.6][rng.gen_range(0usize..3)];
+    // Above: deg · 2 > tuples at every share ≥ 2. Below: deg · share ≤
+    // tuples even at the maximal share p = 8.
+    let above = tuples / 2 + tuples / 10;
+    let below = tuples / 10;
+    vec![
+        (format!("zipf θ={theta}"), zipf_database(q, n, tuples, theta, rng.gen())),
+        (format!("deg {above}"), degree_planted_database(q, n, tuples, 1, above, rng.gen())),
+        (format!("deg {below}"), degree_planted_database(q, n, tuples, 1, below, rng.gen())),
+    ]
+}
+
+#[test]
+fn forty_eight_seeded_cases_hold_every_wco_property() {
+    let mut rng = StdRng::seed_from_u64(0xBEA3_E2018);
+    let mut cases = 0usize;
+    let mut activated = 0usize;
+    for case in 0..16 {
+        let q = random_cyclic_query(&mut rng, case);
+        let p = [8usize, 16][case % 2];
+        for (flavour, db) in databases(&q, &mut rng) {
+            let label = format!("case {case} ({}) on {flavour} p={p}", q.name());
+            cases += 1;
+
+            let plan = WorstCaseOptimalPlan::build(&q, &db, p)
+                .unwrap_or_else(|e| panic!("{label}: plan: {e}"));
+            plan.verify_round_floor().unwrap_or_else(|e| panic!("{label}: round floor: {e}"));
+            if plan.num_rounds() == 2 {
+                activated += 1;
+            }
+            let pred = WcoLoadPrediction::predict(&plan)
+                .unwrap_or_else(|e| panic!("{label}: predict: {e}"));
+
+            let program = WcoProgram::with_plan(plan, 0xC0FFEE ^ case as u64);
+            let cluster = Cluster::new(MpcConfig::new(p, 0.9)).expect("valid config");
+            let run = cluster.run(&program, &db).unwrap_or_else(|e| panic!("{label}: run: {e}"));
+
+            // Exactness against the sequential join.
+            let truth = evaluate(&q, &db).unwrap_or_else(|e| panic!("{label}: evaluate: {e}"));
+            assert!(
+                run.output.same_tuples(&truth),
+                "{label}: {} distributed vs {} sequential tuples",
+                run.output.len(),
+                truth.len()
+            );
+
+            // Exact partition: no answer is formed twice across grids.
+            let per_server: usize = run.per_server_output.iter().sum();
+            assert_eq!(per_server, run.output.len(), "{label}: duplicate answers across servers");
+
+            // Load bracket, round by round; and no round beats perfect
+            // balance — the emission lower bound total/p.
+            let rows = pred.compare(&run).unwrap_or_else(|e| panic!("{label}: compare: {e}"));
+            for (row, stats) in rows.iter().zip(&run.rounds) {
+                assert!(
+                    row.simulated_max_tuples as f64 <= SLACK * row.predicted_tuples + 32.0,
+                    "{label}: round {} measured {} escapes {SLACK} × {:.1} + 32",
+                    row.round,
+                    row.simulated_max_tuples,
+                    row.predicted_tuples
+                );
+                let perfect = (stats.total_tuples_received as f64 / p as f64).floor();
+                assert!(
+                    stats.max_tuples_received as f64 >= perfect,
+                    "{label}: round {} max {} below perfect balance {perfect}",
+                    row.round,
+                    stats.max_tuples_received
+                );
+            }
+        }
+    }
+    assert_eq!(cases, 48, "the matrix is the advertised 48 cases");
+    // The planted-above flavour must actually exercise the heavy path.
+    assert!(activated >= 16, "only {activated} of {cases} cases activated the heavy side");
+}
