@@ -4,6 +4,7 @@
 use serde::Serialize;
 
 use mpc_cq::Query;
+use mpc_data::DbStatistics;
 use mpc_lp::{QueryLps, Rational};
 
 use crate::multiround::load::PlanLoadPrediction;
@@ -205,6 +206,28 @@ impl QueryAnalysis {
     /// one-round load provably degrades to `n/p^{1/2}`-style bounds and
     /// the BKS 2018 heavy/light strategy ([`WorstCaseOptimalPlan`]) wins.
     ///
+    /// When the caller holds [`DbStatistics`] rather than a pre-computed
+    /// skew verdict, use [`QueryAnalysis::planner_choice_with_stats`] —
+    /// it derives `skewed` from the same scan (or sample) every other
+    /// planner consumes.
+    ///
+    /// ```
+    /// use mpc_core::analysis::QueryAnalysis;
+    /// use mpc_core::wco::PlannerChoice;
+    /// use mpc_lp::Rational;
+    ///
+    /// // The triangle is one-round computable at its ε* = 1/3 — but only
+    /// // the worst-case optimal strategy survives skew on a cyclic query.
+    /// let c3 = QueryAnalysis::analyze(&mpc_cq::families::triangle()).unwrap();
+    /// let eps = Rational::new(1, 3);
+    /// assert_eq!(c3.planner_choice(eps, false).unwrap(), PlannerChoice::OneRoundHyperCube);
+    /// assert_eq!(c3.planner_choice(eps, true).unwrap(), PlannerChoice::WorstCaseOptimal);
+    ///
+    /// // A deep chain at ε = 0 takes the multi-round plan either way.
+    /// let l8 = QueryAnalysis::analyze(&mpc_cq::families::chain(8)).unwrap();
+    /// assert_eq!(l8.planner_choice(Rational::ZERO, true).unwrap(), PlannerChoice::MultiRound);
+    /// ```
+    ///
     /// # Errors
     ///
     /// Propagates planning and LP errors.
@@ -225,6 +248,66 @@ impl QueryAnalysis {
         } else {
             PlannerChoice::WorstCaseOptimal
         })
+    }
+
+    /// Does the data exceed the share-threshold skew bound anywhere?
+    ///
+    /// A value is skew evidence at variable `x` when its (estimated)
+    /// frequency at some occurrence of `x` exceeds `|R| / p_x` for that
+    /// atom's relation and `x`'s integer share on `p` servers — the exact
+    /// threshold beyond which hash-partitioning cannot balance the
+    /// HyperCube (and the same threshold [`WorstCaseOptimalPlan`] and the
+    /// `mpc-skew` detector key heavy values on). Variables with share 1
+    /// are never skew evidence: the HyperCube does not balance on them.
+    ///
+    /// The verdict is read from [`DbStatistics`], so one scan (or one
+    /// seeded sample) serves analysis, detection and planning alike; under
+    /// sampled statistics the verdict inherits the sample's confidence —
+    /// a hitter the sample missed is consistently invisible to every
+    /// consumer, which degrades balance, never correctness.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LP/allocation errors from the share computation.
+    pub fn is_skewed(&self, p: usize, stats: &DbStatistics) -> Result<bool> {
+        let alloc = self.shares_for(p)?;
+        for atom in self.query.atoms() {
+            let Some(rs) = stats.relation(&atom.name) else { continue };
+            let total = rs.total() as f64;
+            if total == 0.0 {
+                continue;
+            }
+            for (pos, var) in atom.vars.iter().enumerate() {
+                let share = alloc.share(*var).max(1) as f64;
+                if share <= 1.0 {
+                    continue;
+                }
+                if rs.column_estimates(pos).any(|(_, est)| est * share > total) {
+                    return Ok(true);
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    /// [`QueryAnalysis::planner_choice`] with the skew verdict derived
+    /// from shared [`DbStatistics`] (see [`QueryAnalysis::is_skewed`])
+    /// instead of a caller-supplied boolean — the entry point of the
+    /// adaptive runtime, where one `DbStatistics::collect` feeds the
+    /// strategy picker, the heavy-hitter detector and the WCO planner
+    /// without re-scanning the database.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning and LP errors.
+    pub fn planner_choice_with_stats(
+        &self,
+        epsilon: Rational,
+        p: usize,
+        stats: &DbStatistics,
+    ) -> Result<PlannerChoice> {
+        let skewed = self.is_skewed(p, stats)?;
+        self.planner_choice(epsilon, skewed)
     }
 
     /// Plan the query worst-case optimally against `db` on `p` servers
@@ -391,6 +474,34 @@ mod tests {
         let profile = a.round_load_profile(Rational::ZERO, 8, 500).unwrap();
         assert_eq!(profile.rounds.len(), 3); // ⌈log₂ 8⌉
         assert!(profile.max_predicted_tuples() > 0.0);
+    }
+
+    #[test]
+    fn stats_driven_planner_choice_detects_skew() {
+        let q = families::triangle();
+        let a = QueryAnalysis::analyze(&q).unwrap();
+        let eps = r(1, 3);
+        // A matching database is skew-free: no value repeats in a column.
+        let db = mpc_data::matching_database(&q, 600, 7);
+        let stats = DbStatistics::collect(&db, mpc_data::StatsMode::Exact);
+        assert!(!a.is_skewed(27, &stats).unwrap());
+        assert_eq!(
+            a.planner_choice_with_stats(eps, 27, &stats).unwrap(),
+            PlannerChoice::OneRoundHyperCube
+        );
+        // A planted hitter on half of every relation crosses `|R| / p_x`.
+        let db = mpc_data::skew::heavy_hitter_database(&q, 1000, 2000, 0.5, 11);
+        let stats = DbStatistics::collect(&db, mpc_data::StatsMode::Exact);
+        assert!(a.is_skewed(27, &stats).unwrap());
+        assert_eq!(
+            a.planner_choice_with_stats(eps, 27, &stats).unwrap(),
+            PlannerChoice::WorstCaseOptimal
+        );
+        // A seeded sample reaches the same verdict from O(budget) tuples:
+        // a value on half the relation cannot hide from 400 draws.
+        let mode = mpc_data::StatsMode::Sampled { budget: 400, seed: 3 };
+        let sampled = DbStatistics::collect(&db, mode);
+        assert!(a.is_skewed(27, &sampled).unwrap());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use mpc_cq::{Atom, Query, VarId};
+use mpc_data::{DbStatistics, RelationStats, StatsMode};
 use mpc_lp::{QueryLps, Rational};
 use mpc_storage::{Database, Tuple, Value};
 
@@ -105,8 +106,9 @@ pub struct WcoPattern {
     pub offset: usize,
     /// Servers granted to the pattern (`cells() ≤ group_size`).
     pub group_size: usize,
-    /// Exact tuples each atom routes into this grid (before replication),
-    /// in atom order — read off the planning scan, not estimated.
+    /// Tuples each atom routes into this grid (before replication), in
+    /// atom order — read off the planning scan (exact statistics), or
+    /// scaled up from the planning sample (sampled statistics).
     pub atom_tuples: Vec<u64>,
     /// The fractional edge-cover value `ρ*` of the residual query (heavy
     /// variables deleted); `None` when every variable is heavy and the
@@ -151,8 +153,9 @@ pub struct WorstCaseOptimalPlan {
     heavy: HeavyValues,
     /// Pattern groups; index 0 is the light pattern.
     patterns: Vec<WcoPattern>,
-    /// Exact number of base tuples the staging round distributes (tuples
-    /// needed by at least one heavy grid).
+    /// Number of base tuples the staging round distributes (tuples
+    /// needed by at least one heavy grid) — exact under
+    /// [`StatsMode::Exact`], a scaled estimate under sampling.
     staged_tuples: u64,
     /// `τ*` of the full query (the one-round load exponent).
     tau_star: Rational,
@@ -161,7 +164,7 @@ pub struct WorstCaseOptimalPlan {
 }
 
 impl WorstCaseOptimalPlan {
-    /// Plan against the given database.
+    /// Plan against the given database with exact (full-scan) statistics.
     ///
     /// Missing relations are treated as empty (the join is then empty,
     /// and so is every pattern's grid traffic). Heavy variables are
@@ -172,6 +175,44 @@ impl WorstCaseOptimalPlan {
     ///
     /// Rejects `p = 0`; propagates LP and allocation errors.
     pub fn build(query: &Query, db: &Database, p: usize) -> Result<Self> {
+        Self::build_with_stats(query, db, p, &DbStatistics::collect(db, StatsMode::Exact))
+    }
+
+    /// Plan from already-collected [`DbStatistics`] — the adaptive-runtime
+    /// entry point, sharing one scan (or one seeded sample) with the
+    /// strategy picker and the skew detector.
+    ///
+    /// Under [`StatsMode::Exact`] this is exactly [`Self::build`] (and
+    /// cheaper when the caller already holds the statistics: the per-column
+    /// histograms are read, not recomputed per `(atom, position)`).
+    /// Under [`StatsMode::Sampled`] planning touches only the sampled
+    /// tuples, so its cost is `O(budget · #relations)` instead of
+    /// `O(Σ n_R)`, and two things change — both on the side of caution,
+    /// never correctness:
+    ///
+    /// * heavy values, pattern masses and [`Self::staged_tuples`] become
+    ///   scaled estimates within [`RelationStats::slack_for`];
+    /// * **every** non-empty subset of the detected heavy variables is
+    ///   treated as active: a sampled scan can prove a pattern populated
+    ///   but never empty, and a grid-less active pattern would silently
+    ///   drop the answers routed at it. Extra patterns only cost servers
+    ///   (each idle grid still gets ≥ 1), and demotion keeps the pattern
+    ///   count below `p` as in the exact path.
+    ///
+    /// A heavy value the sample misses is *consistently* light to routing
+    /// and planning alike (the plan's [`HeavyValues`] are the single
+    /// source of truth at both), so the computed join is byte-identical
+    /// to the exact plan's — only the load balance degrades.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `p = 0`; propagates LP and allocation errors.
+    pub fn build_with_stats(
+        query: &Query,
+        db: &Database,
+        p: usize,
+        stats: &DbStatistics,
+    ) -> Result<Self> {
         if p == 0 {
             return Err(CoreError::InvalidPlan("p must be at least 1".to_string()));
         }
@@ -187,11 +228,11 @@ impl WorstCaseOptimalPlan {
             .unwrap_or(0);
 
         let base = ShareAllocation::optimal(query, p)?;
-        let mut heavy = detect_heavy(query, db, &base);
+        let mut heavy = detect_heavy(query, stats, &base);
 
         // Demote until every active pattern (plus the light grid) can be
         // granted at least one server.
-        let (mut pattern_counts, mut active) = scan_patterns(query, db, &heavy);
+        let (mut pattern_counts, mut active) = scan_patterns(query, db, &heavy, stats);
         while active.len() + 1 > p {
             let weakest = heavy
                 .heavy_vars()
@@ -199,7 +240,7 @@ impl WorstCaseOptimalPlan {
                 .min_by_key(|v| heavy_mass(query, &pattern_counts, *v))
                 .expect("active patterns imply heavy variables");
             heavy.demote(weakest);
-            let rescan = scan_patterns(query, db, &heavy);
+            let rescan = scan_patterns(query, db, &heavy, stats);
             pattern_counts = rescan.0;
             active = rescan.1;
         }
@@ -317,7 +358,8 @@ impl WorstCaseOptimalPlan {
         &self.patterns
     }
 
-    /// Exact tuples the staging shuffle of round 1 distributes.
+    /// Tuples the staging shuffle of round 1 distributes (exact under
+    /// exact statistics, a scaled estimate under sampling).
     pub fn staged_tuples(&self) -> u64 {
         self.staged_tuples
     }
@@ -416,23 +458,21 @@ impl WorstCaseOptimalPlan {
 
 /// Degree-threshold heavy detection: value `v` is heavy at `x` when some
 /// atom containing `x` has more than `|R| / p_x` tuples carrying `v` at
-/// an occurrence of `x`.
-fn detect_heavy(query: &Query, db: &Database, base: &ShareAllocation) -> HeavyValues {
+/// an occurrence of `x` (estimated frequency under sampled statistics).
+/// The per-column histograms are read off the shared [`DbStatistics`] —
+/// collected once per database, not once per `(atom, position)`.
+fn detect_heavy(query: &Query, stats: &DbStatistics, base: &ShareAllocation) -> HeavyValues {
     let mut values: Vec<BTreeSet<Value>> = vec![BTreeSet::new(); query.num_vars()];
     for atom in query.atoms() {
-        let Ok(rel) = db.relation(&atom.name) else { continue };
-        let total = rel.len() as u64;
+        let Some(rs) = stats.relation(&atom.name) else { continue };
+        let total = rs.total() as f64;
         for (pos, var) in atom.vars.iter().enumerate() {
-            let share = base.share(*var).max(1) as u64;
-            if share <= 1 {
+            let share = base.share(*var).max(1) as f64;
+            if share <= 1.0 {
                 continue;
             }
-            let mut hist: BTreeMap<Value, u64> = BTreeMap::new();
-            for t in rel.iter() {
-                *hist.entry(t.values()[pos]).or_insert(0) += 1;
-            }
-            for (v, deg) in hist {
-                if deg * share > total {
+            for (v, est) in rs.column_estimates(pos) {
+                if est * share > total {
                     values[var.0].insert(v);
                 }
             }
@@ -445,21 +485,43 @@ fn detect_heavy(query: &Query, db: &Database, base: &ShareAllocation) -> HeavyVa
 /// plus the list of *active* heavy patterns — subsets `H` of the heavy
 /// variables for which **every** atom has at least one compatible tuple
 /// (otherwise the residual join is empty and `H` needs no grid).
+///
+/// Under sampled statistics the scan walks only the sampled tuples
+/// (scaled counts, minimum 1 per observed pattern) and activity is
+/// decided *conservatively*: every non-empty subset of the heavy
+/// variables is active, because a sample can witness a pattern but never
+/// certify its absence — and a tuple routed at a missing grid would be
+/// dropped, losing answers.
 #[allow(clippy::type_complexity)]
 fn scan_patterns(
     query: &Query,
     db: &Database,
     heavy: &HeavyValues,
+    stats: &DbStatistics,
 ) -> (Vec<BTreeMap<BTreeSet<VarId>, u64>>, Vec<BTreeSet<VarId>>) {
     let counts: Vec<BTreeMap<BTreeSet<VarId>, u64>> = query
         .atoms()
         .iter()
         .map(|atom| {
             let mut m: BTreeMap<BTreeSet<VarId>, u64> = BTreeMap::new();
-            if let Ok(rel) = db.relation(&atom.name) {
-                for t in rel.iter() {
-                    if let Some(phi) = heavy.pattern_of(atom, t) {
-                        *m.entry(phi).or_insert(0) += 1;
+            match stats.relation(&atom.name).and_then(RelationStats::sample) {
+                Some((tuples, scale)) => {
+                    for t in tuples {
+                        if let Some(phi) = heavy.pattern_of(atom, t) {
+                            *m.entry(phi).or_insert(0) += 1;
+                        }
+                    }
+                    for c in m.values_mut() {
+                        *c = (*c as f64 * scale).round().max(1.0) as u64;
+                    }
+                }
+                None => {
+                    if let Ok(rel) = db.relation(&atom.name) {
+                        for t in rel.iter() {
+                            if let Some(phi) = heavy.pattern_of(atom, t) {
+                                *m.entry(phi).or_insert(0) += 1;
+                            }
+                        }
                     }
                 }
             }
@@ -476,10 +538,12 @@ fn scan_patterns(
             .filter(|(i, _)| mask & (1 << i) != 0)
             .map(|(_, v)| *v)
             .collect();
-        let feasible = query.atoms().iter().zip(&counts).all(|(atom, c)| {
-            let induced: BTreeSet<VarId> = atom.distinct_vars().intersection(&h).copied().collect();
-            c.get(&induced).copied().unwrap_or(0) > 0
-        });
+        let feasible = stats.is_sampled()
+            || query.atoms().iter().zip(&counts).all(|(atom, c)| {
+                let induced: BTreeSet<VarId> =
+                    atom.distinct_vars().intersection(&h).copied().collect();
+                c.get(&induced).copied().unwrap_or(0) > 0
+            });
         if feasible {
             active.push(h);
         }
@@ -699,5 +763,70 @@ mod tests {
         let q = families::triangle();
         let db = matching_database(&q, 50, 1);
         assert!(WorstCaseOptimalPlan::build(&q, &db, 0).is_err());
+    }
+
+    #[test]
+    fn exact_stats_plan_is_the_default_plan() {
+        // `build` is `build_with_stats` under exact statistics: same heavy
+        // lists, same grids, same carving — for skewed and skew-free data.
+        let q = families::triangle();
+        for db in [matching_database(&q, 600, 7), heavy_hitter_database(&q, 1000, 2000, 0.5, 11)] {
+            let stats = DbStatistics::collect(&db, StatsMode::Exact);
+            let a = WorstCaseOptimalPlan::build(&q, &db, 32).unwrap();
+            let b = WorstCaseOptimalPlan::build_with_stats(&q, &db, 32, &stats).unwrap();
+            assert_eq!(a.patterns().len(), b.patterns().len());
+            for (pa, pb) in a.patterns().iter().zip(b.patterns()) {
+                assert_eq!(pa.heavy_vars, pb.heavy_vars);
+                assert_eq!(pa.shares, pb.shares);
+                assert_eq!(pa.offset, pb.offset);
+                assert_eq!(pa.group_size, pb.group_size);
+            }
+            assert_eq!(a.staged_tuples(), b.staged_tuples());
+            for v in q.var_ids() {
+                assert_eq!(a.heavy().of(v), b.heavy().of(v));
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_plans_are_valid_and_sublinear() {
+        // Property wall over seeds: a sampled plan's grids must be
+        // disjoint and fit `p`, its heavy set must be a subset story the
+        // sample can defend, and — crucially — every non-empty subset of
+        // its heavy variables must own a grid (the conservative activity
+        // rule that makes sampled routing lossless).
+        let q = families::triangle();
+        for seed in 0..5u64 {
+            let db = heavy_hitter_database(&q, 1500, 3000, 0.4, 50 + seed);
+            let mode = StatsMode::Sampled { budget: 500, seed };
+            let stats = DbStatistics::collect(&db, mode);
+            let plan = WorstCaseOptimalPlan::build_with_stats(&q, &db, 32, &stats).unwrap();
+
+            let mut end = 0usize;
+            for pat in plan.patterns() {
+                assert!(pat.offset >= end);
+                assert!(pat.cells() <= pat.group_size);
+                end = pat.offset + pat.cells();
+            }
+            assert!(end <= 32);
+
+            let capable = plan.heavy().heavy_vars();
+            if !capable.is_empty() {
+                for mask in 1usize..(1 << capable.len()) {
+                    let h: BTreeSet<VarId> = capable
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| mask & (1 << i) != 0)
+                        .map(|(_, v)| *v)
+                        .collect();
+                    assert!(
+                        plan.patterns().iter().skip(1).any(|p| p.heavy_vars == h),
+                        "seed {seed}: sampled plan misses active pattern {h:?}"
+                    );
+                }
+            }
+            // Planning read only the sample, not the relations.
+            assert_eq!(stats.scanned_tuples(), 3 * 500);
+        }
     }
 }

@@ -57,6 +57,23 @@ impl WcoProgram {
         Ok(Self::with_plan(WorstCaseOptimalPlan::build(query, db, p)?, seed))
     }
 
+    /// Plan from shared, possibly sampled [`mpc_data::DbStatistics`] and
+    /// compile (see [`WorstCaseOptimalPlan::build_with_stats`] for what
+    /// changes under sampling — plan quality, never the output).
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning (LP, allocation) errors; rejects `p = 0`.
+    pub fn new_with_stats(
+        query: &Query,
+        db: &Database,
+        p: usize,
+        seed: u64,
+        stats: &mpc_data::DbStatistics,
+    ) -> Result<Self> {
+        Ok(Self::with_plan(WorstCaseOptimalPlan::build_with_stats(query, db, p, stats)?, seed))
+    }
+
     /// Compile an already-built plan.
     pub fn with_plan(plan: WorstCaseOptimalPlan, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -192,6 +209,25 @@ impl MpcProgram for WcoProgram {
         Ok(mpc_storage::join::evaluate(query, &db)?)
     }
 
+    /// The heavy grid cells. A heavy cell's final-round inbound is
+    /// exactly the round-2 broadcast-join flows under plain atom tags
+    /// (light tuples go to the light grid in round 1, staged copies
+    /// travel under `STAGE_PREFIX` tags), and [`WcoProgram::output`]
+    /// evaluates the query on precisely those relations — a pure
+    /// function of the tuples routed at the cell. That satisfies the
+    /// relocation contract of [`MpcProgram::reroutable_cells`], so the
+    /// adaptive runtime may move a heavy cell off a straggler without
+    /// changing the join.
+    fn reroutable_cells(&self) -> Vec<usize> {
+        if self.plan.num_rounds() < 2 {
+            // One-round (skew-free) plans have no movable round-2 inbound.
+            return Vec::new();
+        }
+        (0..self.plan.p())
+            .filter(|&s| matches!(self.plan.pattern_of_server(s), Some(pi) if pi >= 1))
+            .collect()
+    }
+
     fn output_name(&self) -> String {
         self.plan.query().name().to_string()
     }
@@ -291,6 +327,114 @@ mod tests {
         assert_eq!(expected.len(), 20, "the star closes 20 triangles");
         let result = run_wco(&q, &db, 8, 11);
         assert!(result.output.same_tuples(&expected));
+    }
+
+    #[test]
+    fn sampled_planning_preserves_the_output() {
+        // The tentpole guarantee: a plan built from a seeded sample routes
+        // differently (its heavy lists may be smaller, its grids differ)
+        // but computes the *same* join — sampling degrades balance, never
+        // correctness.
+        use mpc_data::{DbStatistics, StatsMode};
+        for (qi, q) in [families::triangle(), families::cycle(4)].into_iter().enumerate() {
+            let db = zipf_database(&q, 2500, 4000, 1.3, 31 + qi as u64);
+            let expected = evaluate(&q, &db).unwrap();
+            for seed in [2u64, 19] {
+                let mode = StatsMode::Sampled { budget: 600, seed };
+                let stats = DbStatistics::collect(&db, mode);
+                let program = WcoProgram::new_with_stats(&q, &db, 16, 5, &stats).unwrap();
+                let cluster = Cluster::new(MpcConfig::new(16, 0.9)).unwrap();
+                let result = cluster.run(&program, &db).unwrap();
+                assert!(
+                    result.output.same_tuples(&expected),
+                    "{} seed {seed}: {} vs {} tuples",
+                    q.name(),
+                    result.output.len(),
+                    expected.len()
+                );
+                // Answers still partition across servers: no duplicates.
+                let total: usize = result.per_server_output.iter().sum();
+                assert_eq!(total, result.output.len());
+            }
+        }
+    }
+
+    #[test]
+    fn reroutable_cells_are_exactly_the_heavy_grid() {
+        let q = families::triangle();
+        let db = heavy_hitter_database(&q, 1200, 1500, 0.6, 21);
+        let program = WcoProgram::new(&q, &db, 16, 5).unwrap();
+        let cells = program.reroutable_cells();
+        assert!(!cells.is_empty(), "heavy input must expose movable cells");
+        for &c in &cells {
+            let pi = program.plan().pattern_of_server(c).expect("a cell owns a grid");
+            assert!(pi >= 1, "server {c} is in the light grid, not movable");
+        }
+        // Skew-free input: one round, nothing movable.
+        let flat = matching_database(&q, 900, 3);
+        let one_round = WcoProgram::new(&q, &flat, 27, 7).unwrap();
+        assert_eq!(one_round.num_rounds(), 1);
+        assert!(one_round.reroutable_cells().is_empty());
+    }
+
+    #[test]
+    fn adaptive_rerouting_preserves_the_join_and_recovers_makespan() {
+        // The differential wall of the adaptive runtime: inject a
+        // straggler on a heavy grid cell, let the controller move the
+        // cell, and pin that (a) the rerouted output is byte-identical
+        // to the static one and the sequential join, (b) answers still
+        // partition across servers, (c) the rerouted makespan is
+        // strictly shorter, (d) the decision replays deterministically.
+        use mpc_sim::reroute::RerouteSpec;
+        use mpc_sim::{AsyncConfig, StragglerSpec};
+        let q = families::triangle();
+        let db = heavy_hitter_database(&q, 1200, 1500, 0.6, 21);
+        let p = 16;
+        let program = WcoProgram::new(&q, &db, p, 5).unwrap();
+        let cells = program.reroutable_cells();
+        // Pick the first straggler seed that lands on a movable cell, so
+        // the plan is guaranteed non-trivial.
+        let seed = (0..64u64)
+            .find(|&s| StragglerSpec::new(s, 1, 8).pick(p).iter().any(|c| cells.contains(c)))
+            .expect("some seed hits a heavy cell");
+        let cfg = AsyncConfig::new().with_straggler(StragglerSpec::new(seed, 1, 8));
+        let cluster = Cluster::new(MpcConfig::new(p, 0.9)).unwrap();
+        let run = cluster.run_adaptive(&program, &db, &cfg, &RerouteSpec::default()).unwrap();
+        assert!(!run.plan.is_empty(), "the straggling heavy cell must move");
+        assert_eq!(run.divergence(), None);
+        assert!(run.adaptive.result.output.same_tuples(&evaluate(&q, &db).unwrap()));
+        let placed: usize = run.adaptive.result.per_server_output.iter().sum();
+        assert_eq!(placed, run.adaptive.result.output.len(), "answers still partition");
+        assert!(
+            run.recovery() > 0.0,
+            "moving work off the straggler must shorten the schedule \
+             (static {} vs rerouted {})",
+            run.baseline.schedule.makespan,
+            run.adaptive.schedule.makespan
+        );
+        assert!(run.observed.iter().any(|s| s.tuples > 0), "live counters were surfaced");
+        let again = cluster.run_adaptive(&program, &db, &cfg, &RerouteSpec::default()).unwrap();
+        assert_eq!(run.plan, again.plan, "the decision is deterministic");
+        assert!(run.adaptive.result.output.same_tuples(&again.adaptive.result.output));
+    }
+
+    #[test]
+    fn rerouting_is_inert_without_stragglers() {
+        // No straggler, no signal: the plan is empty and the adaptive
+        // run replays the static schedule's volumes exactly.
+        use mpc_sim::reroute::RerouteSpec;
+        use mpc_sim::AsyncConfig;
+        let q = families::triangle();
+        let db = heavy_hitter_database(&q, 800, 1000, 0.5, 9);
+        let cluster = Cluster::new(MpcConfig::new(12, 0.9)).unwrap();
+        let program = WcoProgram::new(&q, &db, 12, 3).unwrap();
+        let run = cluster
+            .run_adaptive(&program, &db, &AsyncConfig::new(), &RerouteSpec::default())
+            .unwrap();
+        assert!(run.plan.is_empty());
+        assert_eq!(run.divergence(), None);
+        assert_eq!(run.baseline.result.rounds, run.adaptive.result.rounds);
+        assert_eq!(run.baseline.result.per_server_output, run.adaptive.result.per_server_output);
     }
 
     #[test]

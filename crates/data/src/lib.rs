@@ -17,6 +17,10 @@
 //! * [`planted`] — databases with an **exactly controlled output
 //!   cardinality** (`|q(I)| = m` by construction), used by the
 //!   output-sensitive sweep of the journal version (arXiv:1602.06236).
+//! * [`stats`] — the statistics layer every planner consumes:
+//!   [`DbStatistics`] collects per-column frequency histograms either
+//!   **exactly** (one full scan) or from a **seeded sub-linear sample**,
+//!   behind the [`StatsMode`] switch of the adaptive runtime.
 //!
 //! All generators are deterministic given a seed.
 
@@ -27,7 +31,9 @@ pub mod graphs;
 pub mod matching;
 pub mod planted;
 pub mod skew;
+pub mod stats;
 
 pub use graphs::LayeredGraph;
 pub use matching::{matching_database, matching_relation};
 pub use planted::{output_controlled_database, PlantedJoin};
+pub use stats::{DbStatistics, RelationStats, StatsMode};

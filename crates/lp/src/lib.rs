@@ -18,7 +18,10 @@
 //! * [`families`]: certificate-checked **closed-form** optima for the
 //!   recognised query families (cycles, chains, stars, `B_{k,m}`, spokes),
 //! * [`cache`]: a process-wide memoising cache keyed by the query's
-//!   canonical hypergraph signature, and
+//!   canonical hypergraph signature,
+//! * [`degree`]: the **degree-aware statistics LP** of BKS14 §5, which
+//!   refines the share LP with per-relation cardinality and max-degree
+//!   constraints (its cache keys include the statistics), and
 //! * [`cover`]: builders and solvers for the vertex-cover, edge-packing and
 //!   edge-cover LPs of a [`mpc_cq::Query`], plus duality/tightness checks.
 //!
@@ -44,6 +47,7 @@
 
 pub mod cache;
 pub mod cover;
+pub mod degree;
 pub mod error;
 pub mod families;
 pub mod rational;
@@ -52,6 +56,7 @@ pub mod sparse;
 
 pub use cache::LpCache;
 pub use cover::{QueryLps, SolverPath};
+pub use degree::{solve_degree_lp, DegreeLpCache, DegreeShares, DegreeStatistics};
 pub use error::LpError;
 pub use rational::Rational;
 

@@ -88,6 +88,7 @@ use crate::error::SimError;
 use crate::pool::{BlockPool, PoolStats};
 use crate::program::MpcProgram;
 use crate::queue::{Inbox, InboxReceiver, LinkSender, SendAttempt};
+use crate::reroute::LiveProgress;
 use crate::schedule::{self, CostModel, MsgRecord, ScheduleStats, StragglerSpec};
 use crate::server::ServerState;
 use crate::stats::RunResult;
@@ -279,6 +280,35 @@ impl Cluster {
         db: &Database,
         async_config: &AsyncConfig,
     ) -> Result<AsyncRunResult> {
+        self.run_async_inner(program, db, async_config, None)
+    }
+
+    /// [`Cluster::run_async`] with live observation: every worker bumps
+    /// its per-server counters in `progress` on each delivered block and
+    /// each round boundary, so an outside thread — or the adaptive
+    /// runtime's controller ([`crate::reroute`]) — can watch the run
+    /// while it is in flight.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Cluster::run_async`].
+    pub fn run_async_observed<P: MpcProgram>(
+        &self,
+        program: &P,
+        db: &Database,
+        async_config: &AsyncConfig,
+        progress: &Arc<LiveProgress>,
+    ) -> Result<AsyncRunResult> {
+        self.run_async_inner(program, db, async_config, Some(progress))
+    }
+
+    fn run_async_inner<P: MpcProgram>(
+        &self,
+        program: &P,
+        db: &Database,
+        async_config: &AsyncConfig,
+        progress: Option<&Arc<LiveProgress>>,
+    ) -> Result<AsyncRunResult> {
         let p = self.config().p;
         let input_bytes = db.total_bytes();
         let budget_bytes = self.config().budget_bytes(input_bytes);
@@ -314,6 +344,7 @@ impl Cluster {
                 pool: Arc::clone(&pool),
                 block_capacity,
                 adaptive: async_config.adaptive,
+                progress: progress.map(Arc::clone),
                 state: ServerState::new(id, db.domain_size()),
                 fins: vec![0; total_rounds],
                 stash: (0..total_rounds).map(|_| RoundStage::default()).collect(),
@@ -580,6 +611,8 @@ struct Worker<'a, P: MpcProgram> {
     block_capacity: usize,
     /// Per-link adaptive block sizing, if enabled.
     adaptive: Option<crate::block::AdaptivePolicy>,
+    /// Live observation counters, when this run is being watched.
+    progress: Option<Arc<LiveProgress>>,
     state: ServerState,
     /// FIN markers seen, per round (index `round - 1`).
     fins: Vec<usize>,
@@ -607,6 +640,9 @@ impl<P: MpcProgram> Worker<'_, P> {
     fn run_inner(&mut self) -> std::result::Result<WorkerReport, Exit> {
         for round in 1..=self.total_rounds {
             self.round = round;
+            if let Some(progress) = &self.progress {
+                progress.record_round(self.id, round);
+            }
             if round >= 2 {
                 // Route from the state *before* any round-`round` delivery
                 // — the tuple-based model's view, as in the synchronous
@@ -708,6 +744,9 @@ impl<P: MpcProgram> Worker<'_, P> {
                     bytes: block.payload_bytes(),
                     tuples: block.len() as u64,
                 });
+                if let Some(progress) = &self.progress {
+                    progress.record_delivery(self.id, block.payload_bytes(), block.len() as u64);
+                }
                 if round == self.round {
                     self.state.receive_many(round, &block.tag, block.arity(), block.rows());
                 } else {

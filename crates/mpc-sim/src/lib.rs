@@ -50,6 +50,7 @@ pub mod message;
 pub mod pool;
 pub mod program;
 pub mod queue;
+pub mod reroute;
 pub mod schedule;
 pub mod server;
 pub mod stats;
@@ -64,6 +65,10 @@ pub use error::SimError;
 pub use message::Routed;
 pub use pool::{BlockPool, PoolStats};
 pub use program::MpcProgram;
+pub use reroute::{
+    AdaptiveRunResult, LiveProgress, ProgressSnapshot, RerouteController, RerouteHost, ReroutePlan,
+    RerouteSpec,
+};
 pub use schedule::{CostModel, MsgRecord, ScheduleStats, ServerTimeline, StragglerSpec};
 pub use server::ServerState;
 pub use stats::{RoundStats, RunResult};

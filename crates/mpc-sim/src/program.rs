@@ -62,6 +62,24 @@ pub trait MpcProgram: Sync {
     /// The output tuples this worker reports after the final round.
     fn output(&self, server: usize, state: &ServerState) -> Result<Relation>;
 
+    /// Servers whose **final-round inbound** may be relocated wholesale to
+    /// another server by the adaptive runtime ([`crate::reroute`]) — the
+    /// program's declaration of which work units are *movable*.
+    ///
+    /// A server `s` may appear here only when its final-round traffic is
+    /// consumed exclusively by [`MpcProgram::output`], and that output is a
+    /// pure function of the tuples routed at `s` (no reliance on earlier
+    /// rounds' state at `s`). The reroute host then re-tags `s`-bound
+    /// final-round tuples, delivers them to a replacement server, and
+    /// evaluates `output(s, ·)` there over the re-tagged state — so the
+    /// union of outputs is invariant under any relocation.
+    ///
+    /// The default declares nothing movable: rerouting degenerates to the
+    /// static schedule for programs that do not opt in.
+    fn reroutable_cells(&self) -> Vec<usize> {
+        Vec::new()
+    }
+
     /// Name of the output relation (used for the unioned result).
     fn output_name(&self) -> String {
         "output".to_string()

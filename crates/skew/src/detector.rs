@@ -22,6 +22,7 @@ use std::collections::BTreeSet;
 use mpc_core::shares::ShareAllocation;
 use mpc_cq::{Query, VarId};
 use mpc_data::skew::frequency_histograms;
+use mpc_data::{DbStatistics, StatsMode};
 use mpc_storage::Database;
 
 use crate::Result;
@@ -199,6 +200,116 @@ impl HeavyHitterDetector {
         }
         Ok(heavy)
     }
+
+    /// Like [`HeavyHitterDetector::detect`], but against statistics that
+    /// were **already collected** (exactly or from a sample) — the entry
+    /// point of the adaptive runtime, where analysis, detection and
+    /// planning share one [`DbStatistics`] artefact instead of scanning
+    /// the database once each.
+    ///
+    /// In sampled mode, frequencies are the scaled in-sample counts: a
+    /// value the sample missed is treated as light *everywhere* (routing
+    /// stays self-consistent and outputs are unchanged), and any value the
+    /// sample did catch is classified against the same `scale · n_R / p_x`
+    /// threshold, so the detected set is a subset of the exact one up to
+    /// the estimator's confidence slack ([`mpc_data::RelationStats::slack_for`]).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible, like [`HeavyHitterDetector::detect`].
+    pub fn detect_from_stats(
+        &self,
+        q: &Query,
+        stats: &DbStatistics,
+        alloc: &ShareAllocation,
+    ) -> Result<HeavyHitters> {
+        let mut heavy = HeavyHitters::none(q.num_vars());
+        for atom in q.atoms() {
+            let Some(rs) = stats.relation(&atom.name) else {
+                continue;
+            };
+            if rs.total() == 0 {
+                continue;
+            }
+            for (pos, var) in atom.vars.iter().enumerate() {
+                let share = alloc.share(*var);
+                if share <= 1 {
+                    continue;
+                }
+                let threshold = self.policy.threshold(rs.total(), share);
+                if threshold <= 0.0 {
+                    continue;
+                }
+                for (value, estimate) in rs.column_estimates(pos) {
+                    if estimate > threshold {
+                        heavy.insert(*var, value, estimate / threshold);
+                    }
+                }
+            }
+        }
+        Ok(heavy)
+    }
+}
+
+/// Sub-linear heavy-hitter detection from a seeded uniform sample.
+///
+/// Wraps [`HeavyHitterDetector`] over [`StatsMode::Sampled`] statistics:
+/// the cost is `O(budget)` per relation instead of `O(n_R)`, the
+/// interface (and the [`HeavyHitters`] it produces) is identical, and
+/// every estimate carries the confidence slack of
+/// [`mpc_data::RelationStats::slack_for`]. A hitter the sample misses is
+/// *consistently* missed — the residual plans simply route its tuples
+/// through the light grid, which is slower, never wrong.
+///
+/// # Example
+///
+/// ```
+/// use mpc_core::shares::ShareAllocation;
+/// use mpc_skew::detector::SampledDetector;
+///
+/// let q = mpc_cq::families::chain(2);
+/// let db = mpc_data::skew::zipf_database(&q, 6000, 6000, 1.2, 5);
+/// let alloc = ShareAllocation::optimal(&q, 32).unwrap();
+///
+/// // A 10% sample still catches the head of the Zipf distribution.
+/// let detector = SampledDetector::new(Default::default(), 600, 42);
+/// let heavy = detector.detect(&q, &db, &alloc).unwrap();
+/// assert!(heavy.is_heavy(q.var_id("x1").unwrap(), 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SampledDetector {
+    policy: HeavyHitterPolicy,
+    budget: usize,
+    seed: u64,
+}
+
+impl SampledDetector {
+    /// A sampled detector drawing `budget` tuples per relation under
+    /// `seed` and classifying with `policy`.
+    pub fn new(policy: HeavyHitterPolicy, budget: usize, seed: u64) -> Self {
+        SampledDetector { policy, budget, seed }
+    }
+
+    /// The [`StatsMode`] this detector collects under.
+    pub fn mode(&self) -> StatsMode {
+        StatsMode::Sampled { budget: self.budget, seed: self.seed }
+    }
+
+    /// Draw the sample and classify: same contract as
+    /// [`HeavyHitterDetector::detect`], at `O(p · budget)` cost.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible.
+    pub fn detect(
+        &self,
+        q: &Query,
+        db: &Database,
+        alloc: &ShareAllocation,
+    ) -> Result<HeavyHitters> {
+        let stats = DbStatistics::collect(db, self.mode());
+        HeavyHitterDetector::new(self.policy.clone()).detect_from_stats(q, &stats, alloc)
+    }
 }
 
 #[cfg(test)]
@@ -280,5 +391,98 @@ mod tests {
         let db = Database::new(100);
         let heavy = detect(&q, &db, 16);
         assert!(heavy.is_empty());
+    }
+
+    #[test]
+    fn stats_based_detection_in_exact_mode_matches_detect() {
+        let q = families::chain(2);
+        for db in
+            [zipf_database(&q, 6000, 6000, 1.2, 5), heavy_hitter_database(&q, 2000, 2000, 0.5, 7)]
+        {
+            let alloc = ShareAllocation::optimal(&q, 32).unwrap();
+            let scan = HeavyHitterDetector::default().detect(&q, &db, &alloc).unwrap();
+            let stats = DbStatistics::collect(&db, StatsMode::Exact);
+            let from_stats =
+                HeavyHitterDetector::default().detect_from_stats(&q, &stats, &alloc).unwrap();
+            assert_eq!(scan, from_stats, "exact statistics are just the shared scan");
+        }
+    }
+
+    /// The detector-agreement wall of the adaptive runtime: over a seeded
+    /// loop of Zipf and planted heavy-hitter databases, the sampled heavy
+    /// set must be a subset-with-bounded-misses of the exact one — every
+    /// miss (and every extra) is *provably light-ish*, i.e. its true
+    /// frequency sits within the sampling confidence slack of the
+    /// threshold in every column that could have flagged it.
+    #[test]
+    fn sampled_heavy_set_is_subset_with_bounded_misses() {
+        let q = families::chain(2);
+        let p = 32;
+        let budget = 900;
+        for seed in 0..6u64 {
+            for db in [
+                zipf_database(&q, 6000, 6000, 1.1, seed),
+                heavy_hitter_database(&q, 4000, 4000, 0.3, seed),
+            ] {
+                let alloc = ShareAllocation::optimal(&q, p).unwrap();
+                let policy = HeavyHitterPolicy::default();
+                let exact = HeavyHitterDetector::default().detect(&q, &db, &alloc).unwrap();
+                let stats =
+                    DbStatistics::collect(&db, StatsMode::Sampled { budget, seed: seed * 31 + 7 });
+                let sampled =
+                    HeavyHitterDetector::default().detect_from_stats(&q, &stats, &alloc).unwrap();
+
+                // Every disagreement must be explained by the estimator's
+                // slack in every (atom, column) that could flag the value.
+                for atom in q.atoms() {
+                    let Ok(rel) = db.relation(&atom.name) else { continue };
+                    let truth = frequency_histograms(rel);
+                    let rs = stats.relation(&atom.name).unwrap();
+                    for (pos, var) in atom.vars.iter().enumerate() {
+                        let share = alloc.share(*var);
+                        if share <= 1 {
+                            continue;
+                        }
+                        let threshold = policy.threshold(rel.len(), share);
+                        for (&value, &count) in &truth[pos] {
+                            let truth_f = count as f64;
+                            let est = rs.estimate(pos, value);
+                            let slack = rs.slack_for(truth_f.max(est));
+                            let miss =
+                                exact.is_heavy(*var, value) && !sampled.is_heavy(*var, value);
+                            let extra =
+                                sampled.is_heavy(*var, value) && !exact.is_heavy(*var, value);
+                            if miss && truth_f > threshold {
+                                assert!(
+                                    truth_f <= threshold + slack,
+                                    "seed {seed}: missed hitter {value} of {} col {pos} has \
+                                     frequency {truth_f} ≫ threshold {threshold} + slack {slack}",
+                                    atom.name
+                                );
+                            }
+                            if extra && est > threshold {
+                                assert!(
+                                    truth_f + slack > threshold,
+                                    "seed {seed}: spurious hitter {value} of {} col {pos} is \
+                                     truly light: {truth_f} ≤ {threshold} − slack {slack}",
+                                    atom.name
+                                );
+                            }
+                        }
+                    }
+                }
+
+                // And the planted hitter itself (half / a third of the
+                // relation) is far above the slack envelope: it is NEVER
+                // missed.
+                let x1 = q.var_id("x1").unwrap();
+                if exact.is_heavy(x1, 1) && exact.severity(x1) > 4.0 {
+                    assert!(
+                        sampled.is_heavy(x1, 1),
+                        "seed {seed}: a dominant hitter must survive sampling"
+                    );
+                }
+            }
+        }
     }
 }

@@ -16,13 +16,16 @@
 //!   query variable `x`, classifies values as heavy when their frequency
 //!   exceeds `scale · n_R / p_x` (the share-relative threshold beyond
 //!   which hashing *cannot* balance), with the tuning in
-//!   [`HeavyHitterPolicy`].
+//!   [`HeavyHitterPolicy`]. [`SampledDetector`] is the sub-linear variant
+//!   of the adaptive runtime: same interface, `O(budget)` per relation
+//!   from a seeded sample, estimates within the confidence slack of
+//!   [`mpc_data::RelationStats::slack_for`].
 //! * [`residual`] — [`ResidualPlanSet`]: one plan per subset `H` of the
 //!   heavy-capable variables. Each plan owns a disjoint group of servers
 //!   (sized proportionally to the tuple mass it attracts), computes a
 //!   [`mpc_core::shares::ShareAllocation`] for its residual query
-//!   (degenerate variables get share 1) and refines it with a
-//!   cardinality-aware greedy search.
+//!   (degenerate variables get share 1) and refines it with the
+//!   **degree-aware statistics LP** of [`mpc_lp::degree`].
 //! * [`program`] — [`SkewResilientProgram`]: an
 //!   [`mpc_sim::MpcProgram`] that routes light tuples through the ordinary
 //!   HyperCube grid and heavy tuples to their residual plans' servers, so
@@ -56,7 +59,7 @@ pub mod error;
 pub mod program;
 pub mod residual;
 
-pub use detector::{HeavyHitterDetector, HeavyHitterPolicy, HeavyHitters};
+pub use detector::{HeavyHitterDetector, HeavyHitterPolicy, HeavyHitters, SampledDetector};
 pub use error::SkewError;
 pub use program::{SkewResilient, SkewResilientOutcome, SkewResilientProgram};
 pub use residual::{ResidualPlan, ResidualPlanSet};

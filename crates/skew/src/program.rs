@@ -25,6 +25,7 @@ use rand::{Rng, SeedableRng};
 
 use mpc_core::shares::ShareAllocation;
 use mpc_cq::{Atom, Query};
+use mpc_data::{DbStatistics, StatsMode};
 use mpc_sim::program::hash_value;
 use mpc_sim::{Cluster, MpcConfig, MpcProgram, Routed, RunResult, ServerState};
 use mpc_storage::{Database, Relation, Tuple};
@@ -59,10 +60,31 @@ impl SkewResilientProgram {
         policy: &HeavyHitterPolicy,
         seed: u64,
     ) -> Result<Self> {
+        Self::with_mode(query, db, p, policy, seed, StatsMode::Exact)
+    }
+
+    /// Like [`SkewResilientProgram::new`], but collecting the planning
+    /// statistics under an explicit [`StatsMode`] — the adaptive-runtime
+    /// path. One [`DbStatistics`] artefact feeds detection, pattern
+    /// counting and the degree-LP share refinement, so sampled planning
+    /// costs `O(p · budget)` instead of repeated full scans.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation and planning errors.
+    pub fn with_mode(
+        query: &Query,
+        db: &Database,
+        p: usize,
+        policy: &HeavyHitterPolicy,
+        seed: u64,
+        mode: StatsMode,
+    ) -> Result<Self> {
         let base = ShareAllocation::optimal(query, p).map_err(crate::SkewError::from)?;
+        let stats = DbStatistics::collect(db, mode);
         let detector = HeavyHitterDetector::new(policy.clone());
-        let heavy = detector.detect(query, db, &base)?;
-        let plans = ResidualPlanSet::build(query, db, heavy, p)?;
+        let heavy = detector.detect_from_stats(query, &stats, &base)?;
+        let plans = ResidualPlanSet::build_with_stats(query, db, heavy, p, &stats)?;
         Ok(Self::with_plans(query, plans, seed))
     }
 
@@ -228,7 +250,26 @@ impl SkewResilient {
         policy: &HeavyHitterPolicy,
         seed: u64,
     ) -> Result<SkewResilientOutcome> {
-        let program = SkewResilientProgram::new(q, db, config.p, policy, seed)?;
+        Self::run_with_mode(q, db, config, policy, seed, StatsMode::Exact)
+    }
+
+    /// Run with an explicit [`StatsMode`]: `Sampled` plans from a seeded
+    /// sub-linear sample instead of full scans. The *output* is identical
+    /// either way — sampling moves tuples between plans, not out of the
+    /// join — only load balance and planning cost differ.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning, configuration and simulation errors.
+    pub fn run_with_mode(
+        q: &Query,
+        db: &Database,
+        config: &MpcConfig,
+        policy: &HeavyHitterPolicy,
+        seed: u64,
+        mode: StatsMode,
+    ) -> Result<SkewResilientOutcome> {
+        let program = SkewResilientProgram::with_mode(q, db, config.p, policy, seed, mode)?;
         let plan_set = program.plan_set().clone();
         let cluster = Cluster::new(config.clone()).map_err(crate::SkewError::from)?;
         let result = cluster.run(&program, db).map_err(crate::SkewError::from)?;
@@ -315,6 +356,32 @@ mod tests {
                 let owner = program.owning_plan(atom, t).unwrap();
                 assert!(program.routed_plans(atom, t).contains(&owner));
             }
+        }
+    }
+
+    #[test]
+    fn sampled_planning_preserves_the_output() {
+        // The core graceful-degradation property: whatever the sample saw
+        // or missed, the computed join is byte-identical to the exact
+        // plan's (and to the sequential truth).
+        let q = families::chain(2);
+        for seed in [3u64, 8, 21] {
+            let db = zipf_database(&q, 3000, 3000, 1.2, seed);
+            let cfg = MpcConfig::new(16, 0.0);
+            let policy = HeavyHitterPolicy::default();
+            let exact = SkewResilient::run_seeded(&q, &db, &cfg, &policy, 7).unwrap();
+            let sampled = SkewResilient::run_with_mode(
+                &q,
+                &db,
+                &cfg,
+                &policy,
+                7,
+                StatsMode::Sampled { budget: 500, seed },
+            )
+            .unwrap();
+            let truth = evaluate(&q, &db).unwrap();
+            assert!(exact.result.output.same_tuples(&truth));
+            assert!(sampled.result.output.same_tuples(&truth), "seed {seed}");
         }
     }
 

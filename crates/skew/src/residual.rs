@@ -20,22 +20,39 @@
 //!   per heavy subset, served through the memoising LP cache of `mpc-lp`,
 //!   so isomorphic residuals across plans, rebuilds and sibling queries
 //!   cost one solve, and
-//! * a greedy cardinality-aware share vector minimising the estimated
-//!   per-server load `Σ_j |R_j^H| / ∏_{x ∈ lightvars(R_j)} p_x` under the
-//!   actual per-pattern tuple counts,
+//! * a statistics-aware share vector from the **degree-aware LP** of
+//!   BKS14 §5 ([`mpc_lp::degree`]): per-pattern cardinalities and
+//!   per-column maximum degrees become LP constraints, the optimal
+//!   exponents are floored onto the group's integer grid, and the leftover
+//!   integer slack is filled greedily against the estimated per-server
+//!   load `Σ_j |R_j^H| / ∏_{x ∈ lightvars(R_j)} p_x`,
 //!
 //! keeping whichever estimates lower. Degenerate (heavy or absent)
 //! variables always get share 1.
+//!
+//! [`ResidualPlanSet::build_with_stats`] is the adaptive-runtime entry
+//! point: it plans from a shared [`mpc_data::DbStatistics`] artefact —
+//! pattern counts come from the sample (scaled) when the statistics are
+//! sampled, so the whole planning pass costs `O(p · budget)` instead of a
+//! full scan. [`ResidualPlanSet::build`] keeps the exact behaviour.
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use mpc_core::shares::ShareAllocation;
 use mpc_cq::{Atom, Query, VarId};
+use mpc_data::{DbStatistics, StatsMode};
+use mpc_lp::degree::{rational_log, solve_degree_lp, DegreeStatistics};
+use mpc_lp::Rational;
 use mpc_storage::Database;
 
 use crate::detector::HeavyHitters;
 use crate::error::SkewError;
 use crate::Result;
+
+/// Denominator of the rationalised `log` grid the degree LP solves on:
+/// statistics are rounded to multiples of `1/12` in exponent space, which
+/// keeps cache keys small and moves the optimum by at most one grid step.
+const LOG_GRID: i128 = 12;
 
 /// One residual plan: the servers and shares dedicated to the answers
 /// whose heavy configuration is exactly [`ResidualPlan::heavy_vars`].
@@ -95,6 +112,28 @@ impl ResidualPlanSet {
     ///
     /// Rejects `p == 0` and propagates share-allocation errors.
     pub fn build(q: &Query, db: &Database, heavy: HeavyHitters, p: usize) -> Result<Self> {
+        let stats = DbStatistics::collect(db, StatsMode::Exact);
+        Self::build_with_stats(q, db, heavy, p, &stats)
+    }
+
+    /// Like [`ResidualPlanSet::build`], but planning from an
+    /// already-collected [`DbStatistics`] artefact — exact or sampled.
+    /// With sampled statistics the per-pattern tuple counts are estimated
+    /// from the sample (scaled by `n/budget`), so building the plan set
+    /// never scans the database; group sizing and share refinement degrade
+    /// gracefully with the sample, while routing correctness is untouched
+    /// (plans are correct for *any* heavy set).
+    ///
+    /// # Errors
+    ///
+    /// Rejects `p == 0` and propagates share-allocation errors.
+    pub fn build_with_stats(
+        q: &Query,
+        db: &Database,
+        heavy: HeavyHitters,
+        p: usize,
+        stats: &DbStatistics,
+    ) -> Result<Self> {
         if p == 0 {
             return Err(SkewError::InvalidPlan("p must be at least 1".to_string()));
         }
@@ -119,8 +158,9 @@ impl ResidualPlanSet {
         let mut capable: Vec<VarId> = kept.into_iter().collect();
         capable.sort_unstable();
 
-        // Per-atom tuple counts by heavy pattern (one scan of the input).
-        let pattern_counts = count_patterns(q, db, &heavy);
+        // Per-atom tuple counts by heavy pattern: one scan of the input,
+        // or — with sampled statistics — one scaled pass over the sample.
+        let pattern_counts = count_patterns_with_stats(q, db, &heavy, stats);
 
         // One plan per subset of the capable variables, the light plan
         // (mask 0) first.
@@ -168,17 +208,17 @@ impl ResidualPlanSet {
                 let rq = residual.as_ref().expect("allocation implies residual");
                 lift_shares(q, rq, alloc)
             });
-            // Candidate 2: cardinality-aware greedy shares.
-            let greedy = greedy_shares(q, &heavy_vars, &pattern_counts, group_size);
+            // Candidate 2: statistics-aware shares from the degree LP.
+            let refined = statistics_shares(q, &heavy_vars, &pattern_counts, stats, group_size);
 
             let shares = match lifted {
                 Some(lifted)
                     if estimated_load(q, &heavy_vars, &pattern_counts, &lifted)
-                        <= estimated_load(q, &heavy_vars, &pattern_counts, &greedy) =>
+                        <= estimated_load(q, &heavy_vars, &pattern_counts, &refined) =>
                 {
                     lifted
                 }
-                _ => greedy,
+                _ => refined,
             };
 
             let plan = ResidualPlan {
@@ -274,26 +314,37 @@ pub fn residual_query(q: &Query, heavy_vars: &BTreeSet<VarId>) -> Option<Query> 
     Query::new(format!("{}|{}", q.name(), label.join(",")), atoms).ok()
 }
 
-/// Per-atom tuple counts keyed by heavy pattern.
-fn count_patterns(
+/// Per-atom tuple counts keyed by heavy pattern. With sampled statistics
+/// the counts are estimated from the sample and scaled (rounded to the
+/// nearest tuple); otherwise the relation is scanned once.
+fn count_patterns_with_stats(
     q: &Query,
     db: &Database,
     heavy: &HeavyHitters,
+    stats: &DbStatistics,
 ) -> Vec<BTreeMap<BTreeSet<VarId>, u64>> {
     q.atoms()
         .iter()
         .map(|atom| {
             let mut counts: BTreeMap<BTreeSet<VarId>, u64> = BTreeMap::new();
-            if let Ok(rel) = db.relation(&atom.name) {
+            let pattern_of = |t: &mpc_storage::Tuple| -> BTreeSet<VarId> {
+                atom.vars
+                    .iter()
+                    .enumerate()
+                    .filter(|(pos, var)| heavy.is_heavy(**var, t.values()[*pos]))
+                    .map(|(_, var)| *var)
+                    .collect()
+            };
+            if let Some((tuples, scale)) = stats.relation(&atom.name).and_then(|rs| rs.sample()) {
+                for t in tuples {
+                    *counts.entry(pattern_of(t)).or_insert(0) += 1;
+                }
+                for c in counts.values_mut() {
+                    *c = (*c as f64 * scale).round().max(1.0) as u64;
+                }
+            } else if let Ok(rel) = db.relation(&atom.name) {
                 for t in rel.iter() {
-                    let pattern: BTreeSet<VarId> = atom
-                        .vars
-                        .iter()
-                        .enumerate()
-                        .filter(|(pos, var)| heavy.is_heavy(**var, t.values()[*pos]))
-                        .map(|(_, var)| *var)
-                        .collect();
-                    *counts.entry(pattern).or_insert(0) += 1;
+                    *counts.entry(pattern_of(t)).or_insert(0) += 1;
                 }
             }
             counts
@@ -378,16 +429,108 @@ fn estimated_load(
         .sum()
 }
 
-/// Cardinality-aware share search: grow, one unit at a time, the light
-/// variable whose increment most reduces the estimated load, while the
-/// grid stays within `group` servers.
-fn greedy_shares(
+/// Statistics-aware shares: solve the degree-aware LP of BKS14 §5 on the
+/// residual query — per-pattern cardinalities as `ν_j`, per-column maximum
+/// frequencies (capped at the pattern mass) as `δ_{j,x}` — floor the
+/// optimal exponents `e_x` onto the integer grid `p_x = ⌊group^{e_x}⌋`,
+/// then fill the leftover integer slack with the load-greedy loop of
+/// [`fill_shares`]. Falls back to the pure greedy fill when the residual
+/// is degenerate or the LP errors (never observed for workspace sizes).
+fn statistics_shares(
+    q: &Query,
+    heavy_vars: &BTreeSet<VarId>,
+    pattern_counts: &[BTreeMap<BTreeSet<VarId>, u64>],
+    stats: &DbStatistics,
+    group: usize,
+) -> Vec<usize> {
+    let mut shares = vec![1usize; q.num_vars()];
+    if group > 1 {
+        if let Some(exponents) = degree_lp_exponents(q, heavy_vars, pattern_counts, stats, group) {
+            for (v, e) in exponents {
+                shares[v.0] = (group as f64).powf(e.to_f64()).floor().max(1.0) as usize;
+            }
+            // Flooring each factor keeps ∏ p_x ≤ group^{Σ e_x} ≤ group,
+            // but guard against float dust anyway.
+            if shares.iter().product::<usize>() > group {
+                shares = vec![1; q.num_vars()];
+            }
+        }
+    }
+    fill_shares(q, heavy_vars, pattern_counts, group, shares)
+}
+
+/// The optimal exponents of the degree-aware LP for the residual query of
+/// `heavy_vars`, mapped back to the original query's light variables.
+/// `None` when the residual is a pure filter or the LP fails.
+fn degree_lp_exponents(
+    q: &Query,
+    heavy_vars: &BTreeSet<VarId>,
+    pattern_counts: &[BTreeMap<BTreeSet<VarId>, u64>],
+    stats: &DbStatistics,
+    group: usize,
+) -> Option<Vec<(VarId, Rational)>> {
+    let rq = residual_query(q, heavy_vars)?;
+    // Exponent space has base `group` (shares are p_x = group^{e_x}):
+    // ν_j = log_group(m_j) over the pattern mass, δ capped at ν_j.
+    let mut cardinality = Vec::with_capacity(rq.num_atoms());
+    let mut degree = vec![vec![Rational::ZERO; rq.num_vars()]; rq.num_atoms()];
+    let mut rj = 0usize;
+    for (atom, counts) in q.atoms().iter().zip(pattern_counts) {
+        let lights: Vec<(usize, VarId)> = atom
+            .vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !heavy_vars.contains(v))
+            .map(|(pos, v)| (pos, *v))
+            .collect();
+        if lights.is_empty() {
+            continue; // fully-heavy atom: dropped from the residual
+        }
+        let pattern: BTreeSet<VarId> =
+            atom.distinct_vars().intersection(heavy_vars).copied().collect();
+        let mass = counts.get(&pattern).copied().unwrap_or(0);
+        cardinality.push(rational_log(mass, group, LOG_GRID));
+        let rs = stats.relation(&atom.name);
+        for (pos, var) in lights {
+            let rv = rq.var_id(&q.var_names()[var.0])?;
+            // Maximum degree of the column, an upper bound for the
+            // residual subset; capped at the pattern mass.
+            let maxdeg = rs
+                .map(|rs| {
+                    rs.column_estimates(pos).map(|(_, est)| est).fold(0.0f64, f64::max).round()
+                        as u64
+                })
+                .unwrap_or(0)
+                .min(mass);
+            let d = rational_log(maxdeg, group, LOG_GRID).min(cardinality[rj]);
+            if d > degree[rj][rv.0] {
+                degree[rj][rv.0] = d;
+            }
+        }
+        rj += 1;
+    }
+    let sol = solve_degree_lp(&rq, &DegreeStatistics { cardinality, degree }).ok()?;
+    Some(
+        (0..q.num_vars())
+            .filter_map(|v| {
+                let rv = rq.var_id(&q.var_names()[v])?;
+                Some((VarId(v), sol.exponents[rv.0]))
+            })
+            .collect(),
+    )
+}
+
+/// Load-greedy integer fill: grow, one unit at a time, the light variable
+/// whose increment most reduces the estimated load, while the grid stays
+/// within `group` servers. Used to top up the degree-LP floor (and, from
+/// an all-ones start, as the LP-free fallback).
+fn fill_shares(
     q: &Query,
     heavy_vars: &BTreeSet<VarId>,
     pattern_counts: &[BTreeMap<BTreeSet<VarId>, u64>],
     group: usize,
+    mut shares: Vec<usize>,
 ) -> Vec<usize> {
-    let mut shares = vec![1usize; q.num_vars()];
     loop {
         let product: usize = shares.iter().product();
         let current = estimated_load(q, heavy_vars, pattern_counts, &shares);
@@ -585,19 +728,102 @@ mod tests {
     }
 
     #[test]
-    fn greedy_shares_follow_cardinalities() {
-        // Product residual S1'(x0) × S2'(x2) with |S2'| ≫ |S1'|: the greedy
-        // shares put (almost) everything on x2, unlike the cover-based
-        // (√g, √g) split.
+    fn statistics_shares_follow_cardinalities() {
+        // Product residual S1'(x0) × S2'(x2) with |S2'| ≫ |S1'|: the
+        // degree-LP shares put (almost) everything on x2, unlike the
+        // cover-based (√g, √g) split.
         let q = families::chain(2);
         let x1: BTreeSet<VarId> = [q.var_id("x1").unwrap()].into_iter().collect();
         let counts =
             vec![BTreeMap::from([(x1.clone(), 4u64)]), BTreeMap::from([(x1.clone(), 2000u64)])];
-        let shares = greedy_shares(&q, &x1, &counts, 8);
+        let stats = DbStatistics::collect(&Database::new(100), StatsMode::Exact);
+        let shares = statistics_shares(&q, &x1, &counts, &stats, 8);
         assert_eq!(shares[q.var_id("x1").unwrap().0], 1, "heavy variables stay degenerate");
         assert!(
             shares[q.var_id("x2").unwrap().0] >= 4,
             "the big relation's variable takes the servers: {shares:?}"
         );
+    }
+
+    #[test]
+    fn degree_constraints_steer_shares_off_skewed_columns() {
+        // Chain join where S2's x1-column is a single value: every
+        // S2-tuple agrees on x1, so partitioning on x1 alone cannot split
+        // S2 — the degree constraint `ν − e_{x2} ≤ t` forces share onto
+        // x2. The cardinality-only optimum would be the all-on-x1 split
+        // [1, 16, 1]; the degree LP lands on the balanced [1, 4, 4].
+        let q = families::chain(2);
+        let no_heavy: BTreeSet<VarId> = BTreeSet::new();
+        let empty = BTreeSet::new();
+        let counts = vec![
+            BTreeMap::from([(empty.clone(), 1000u64)]),
+            BTreeMap::from([(empty.clone(), 1000u64)]),
+        ];
+        let mut db = Database::new(100_000);
+        db.insert_relation(
+            mpc_storage::Relation::from_tuples(
+                "S1",
+                2,
+                (0..1000u64).map(|i| [i, i]).collect::<Vec<_>>(),
+            )
+            .unwrap(),
+        );
+        // S2(x1, x2) with constant x1: max degree on x1 = |S2|.
+        db.insert_relation(
+            mpc_storage::Relation::from_tuples(
+                "S2",
+                2,
+                (0..1000u64).map(|i| [1, i]).collect::<Vec<_>>(),
+            )
+            .unwrap(),
+        );
+        let stats = DbStatistics::collect(&db, StatsMode::Exact);
+        let shares = statistics_shares(&q, &no_heavy, &counts, &stats, 16);
+        let (x1, x2) = (q.var_id("x1").unwrap(), q.var_id("x2").unwrap());
+        assert!(shares[x2.0] >= 4, "the degree bound forces share onto x2: {shares:?}");
+        assert!(shares[x1.0] < 16, "x1 no longer takes the whole grid: {shares:?}");
+    }
+
+    /// The property wall of the sampled planner: over a seeded loop,
+    /// whenever the exact plan set fits the server budget (it always
+    /// does by construction), the sampled plan set fits the same budget —
+    /// sampling shifts group sizes and shares, never the invariants.
+    #[test]
+    fn sampled_plans_stay_within_budget_whenever_exact_plans_do() {
+        let q = families::chain(2);
+        let p = 32;
+        for seed in 0..6u64 {
+            let db = mpc_data::skew::zipf_database(&q, 4000, 4000, 1.1, seed);
+            let alloc = ShareAllocation::optimal(&q, p).unwrap();
+
+            let exact_heavy = HeavyHitterDetector::default().detect(&q, &db, &alloc).unwrap();
+            let exact_set = ResidualPlanSet::build(&q, &db, exact_heavy, p).unwrap();
+            assert!(exact_set.servers_used() <= p);
+
+            let stats =
+                DbStatistics::collect(&db, StatsMode::Sampled { budget: 600, seed: seed * 17 + 3 });
+            let sampled_heavy =
+                HeavyHitterDetector::default().detect_from_stats(&q, &stats, &alloc).unwrap();
+            let sampled_set =
+                ResidualPlanSet::build_with_stats(&q, &db, sampled_heavy, p, &stats).unwrap();
+
+            // Same budget invariants as the exact plan set…
+            assert!(sampled_set.servers_used() <= p, "seed {seed}");
+            assert!(sampled_set.plans().len() <= exact_set.plans().len().max(1) * 2);
+            let mut end = 0usize;
+            for plan in sampled_set.plans() {
+                assert!(plan.cells() <= plan.group_size, "seed {seed}: grid fits its group");
+                assert!(plan.offset >= end, "seed {seed}: groups are disjoint");
+                end = plan.offset + plan.cells();
+            }
+            assert!(end <= p);
+            // …and graceful degradation: the sampled heavy set never
+            // grows beyond the exact one by more than the slack allows
+            // (subset-with-bounded-misses is pinned in detector tests).
+            assert!(
+                sampled_set.heavy().num_heavy_values() <= exact_set.heavy().num_heavy_values() + 4,
+                "seed {seed}"
+            );
+        }
     }
 }

@@ -1,0 +1,260 @@
+//! CI docs gate: verify that the repo's guide documents do not rot.
+//!
+//! Given markdown files (default: `README.md ARCHITECTURE.md
+//! ROADMAP.md`), this tool checks, outside fenced code blocks:
+//!
+//! * **Relative links** `[text](path)` — the path must exist on disk,
+//!   resolved against the linking file's directory.
+//! * **Anchors** `[text](path#anchor)` / `[text](#anchor)` — the anchor
+//!   must match a heading of the target file, using GitHub's slug rules
+//!   (lowercase, alphanumerics kept, spaces become hyphens, other
+//!   punctuation dropped, duplicates suffixed `-1`, `-2`, …).
+//! * **Backticked repo paths** — an inline code span that looks like a
+//!   repo path (no whitespace, contains `/`, first segment is a
+//!   top-level directory such as `crates/` or `tools/`) must exist, so
+//!   prose referring to a file that was moved or deleted fails the
+//!   build instead of silently going stale.
+//!
+//! `http(s):`/`mailto:` targets are skipped — CI has no network.
+//!
+//! ```text
+//! docs_gate [file.md]...
+//! ```
+//!
+//! Exit status: 0 when every reference resolves, 1 otherwise (each
+//! failure is reported as `file:line: message`).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Top-level directories whose backticked mentions are treated as repo
+/// paths and checked for existence.
+const PATH_ROOTS: [&str; 7] = ["crates", "tools", "tests", "shims", "examples", "src", ".github"];
+
+/// GitHub's heading-to-anchor slug: lowercase, keep alphanumerics and
+/// hyphens, map spaces to hyphens, drop everything else.
+fn slug(heading: &str) -> String {
+    let mut out = String::new();
+    for c in heading.trim().chars() {
+        if c.is_alphanumeric() {
+            out.extend(c.to_lowercase());
+        } else if c == ' ' || c == '-' {
+            out.push('-');
+        }
+    }
+    out
+}
+
+/// Strip markdown formatting GitHub ignores when slugging a heading:
+/// backticks, emphasis markers, and link syntax (`[text](target)` keeps
+/// only `text`).
+fn heading_text(raw: &str) -> String {
+    let mut out = String::new();
+    let mut chars = raw.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '`' | '*' => {}
+            '[' => {}
+            ']' => {
+                // Drop a following "(target)" group, if any.
+                if chars.peek() == Some(&'(') {
+                    for t in chars.by_ref() {
+                        if t == ')' {
+                            break;
+                        }
+                    }
+                }
+            }
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// All heading anchors of a markdown document, with GitHub's duplicate
+/// suffixing.
+fn anchors(text: &str) -> Vec<String> {
+    let mut seen: Vec<(String, usize)> = Vec::new();
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence || !line.starts_with('#') {
+            continue;
+        }
+        let title = line.trim_start_matches('#');
+        if !title.starts_with(' ') && !title.is_empty() {
+            continue; // "#foo" is not a heading
+        }
+        let base = slug(&heading_text(title));
+        match seen.iter_mut().find(|(s, _)| *s == base) {
+            Some((_, n)) => {
+                *n += 1;
+                out.push(format!("{base}-{n}"));
+            }
+            None => {
+                seen.push((base.clone(), 0));
+                out.push(base);
+            }
+        }
+    }
+    out
+}
+
+/// Extract `[text](target)` targets from one line, ignoring inline code
+/// spans (odd segments of a backtick split).
+fn link_targets(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for (i, seg) in line.split('`').enumerate() {
+        if i % 2 == 1 {
+            continue;
+        }
+        let mut rest = seg;
+        while let Some(pos) = rest.find("](") {
+            let after = &rest[pos + 2..];
+            match after.find(')') {
+                Some(end) => {
+                    out.push(after[..end].to_string());
+                    rest = &after[end + 1..];
+                }
+                None => break,
+            }
+        }
+    }
+    out
+}
+
+/// Extract backticked repo-path candidates from one line.
+fn path_mentions(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for (i, seg) in line.split('`').enumerate() {
+        if i % 2 == 0 || seg.contains(char::is_whitespace) || !seg.contains('/') {
+            continue;
+        }
+        let first = seg.split('/').next().unwrap_or("");
+        if PATH_ROOTS.contains(&first) {
+            out.push(seg.to_string());
+        }
+    }
+    out
+}
+
+/// Check one markdown file; push failures as `file:line: message`.
+fn check_file(path: &Path, failures: &mut Vec<String>) {
+    let Ok(text) = fs::read_to_string(path) else {
+        failures.push(format!("{}: unreadable", path.display()));
+        return;
+    };
+    let own_anchors = anchors(&text);
+    let dir = path.parent().unwrap_or(Path::new("."));
+    let mut in_fence = false;
+    for (idx, line) in text.lines().enumerate() {
+        let at = format!("{}:{}", path.display(), idx + 1);
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        for target in link_targets(line) {
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+            {
+                continue;
+            }
+            let (file_part, anchor) = match target.split_once('#') {
+                Some((f, a)) => (f, Some(a.to_string())),
+                None => (target.as_str(), None),
+            };
+            let (resolved, target_anchors): (PathBuf, Vec<String>) = if file_part.is_empty() {
+                (path.to_path_buf(), own_anchors.clone())
+            } else {
+                let resolved = dir.join(file_part);
+                if !resolved.exists() {
+                    failures.push(format!("{at}: dead link target `{file_part}`"));
+                    continue;
+                }
+                let linked = match anchor {
+                    Some(_) => fs::read_to_string(&resolved).unwrap_or_default(),
+                    None => String::new(),
+                };
+                (resolved, anchors(&linked))
+            };
+            if let Some(a) = anchor {
+                if !target_anchors.contains(&a) {
+                    failures.push(format!("{at}: dead anchor `#{a}` in `{}`", resolved.display()));
+                }
+            }
+        }
+        for mention in path_mentions(line) {
+            if !Path::new(mention.trim_end_matches('/')).exists() {
+                failures.push(format!("{at}: stale repo path `{mention}`"));
+            }
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        files = vec!["README.md".into(), "ARCHITECTURE.md".into(), "ROADMAP.md".into()];
+    }
+    let mut failures = Vec::new();
+    for f in &files {
+        check_file(Path::new(f), &mut failures);
+    }
+    if failures.is_empty() {
+        println!("docs_gate: {} file(s) clean", files.len());
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("{f}");
+        }
+        eprintln!("docs_gate: {} failure(s)", failures.len());
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slugs_match_github() {
+        assert_eq!(slug("The adaptive runtime"), "the-adaptive-runtime");
+        assert_eq!(slug("Failure model & recovery"), "failure-model--recovery");
+        assert_eq!(slug("Networking & service"), "networking--service");
+        assert_eq!(
+            slug(&heading_text(" The one-round / multi-round story")),
+            "the-one-round--multi-round-story"
+        );
+        assert_eq!(slug(&heading_text(" A `code` [link](x.md) title")), "a-code-link-title");
+    }
+
+    #[test]
+    fn duplicate_headings_are_suffixed() {
+        let text = "# A\n## Same\n## Same\n";
+        assert_eq!(anchors(text), vec!["a", "same", "same-1"]);
+    }
+
+    #[test]
+    fn fenced_blocks_are_ignored() {
+        let text = "# Top\n```text\n# not a heading\n[x](nowhere.md)\n```\n";
+        assert_eq!(anchors(text), vec!["top"]);
+        let fenced_line: Vec<String> = link_targets("[x](real.md) `[y](fake.md)`");
+        assert_eq!(fenced_line, vec!["real.md"]);
+    }
+
+    #[test]
+    fn path_mentions_are_filtered() {
+        assert_eq!(path_mentions("see `crates/lp/src` and `n_R/p_x` maths"), vec!["crates/lp/src"]);
+        assert!(path_mentions("ratio `fresh/base` only").is_empty());
+        assert!(path_mentions("no spans here").is_empty());
+    }
+}
